@@ -1,0 +1,45 @@
+//===- bench/BenchUtil.h - Shared helpers for the table harnesses ---------==//
+///
+/// \file
+/// Helpers shared by the per-table benchmark binaries: run a benchmark
+/// program under a domain/configuration and print paper-vs-measured
+/// rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_BENCH_BENCHUTIL_H
+#define GAIA_BENCH_BENCHUTIL_H
+
+#include "core/Analyzer.h"
+#include "core/Report.h"
+#include "programs/Benchmarks.h"
+#include "programs/PaperData.h"
+
+#include <cstdio>
+#include <string>
+
+namespace gaia {
+
+/// Analyzes \p B with the given options; prints an error and aborts on
+/// failure (the bench harness runs on known-good inputs).
+inline AnalysisResult runBenchmark(const BenchmarkProgram &B,
+                                   AnalyzerOptions Opts = {}) {
+  AnalysisResult R = analyzeProgram(B.Source, B.GoalSpec, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s: %s\n", B.Key.c_str(),
+                 R.Error.c_str());
+    std::abort();
+  }
+  return R;
+}
+
+inline void printHeaderBlock(const char *Table, const char *What) {
+  std::printf("\n=== %s: %s ===\n", Table, What);
+  std::printf("(paper values from a Sun SPARC-10 and the original "
+              "benchmark sources; ours are reconstructions — compare "
+              "shapes, not absolutes; see EXPERIMENTS.md)\n\n");
+}
+
+} // namespace gaia
+
+#endif // GAIA_BENCH_BENCHUTIL_H

@@ -1,0 +1,178 @@
+//===- bench/domain_ops.cpp - Type-graph operation ablations --------------==//
+///
+/// \file
+/// Micro-benchmarks and ablations for the design choices DESIGN.md calls
+/// out:
+///   - scaling of inclusion / union / intersection / widening with graph
+///     size (the paper's claim is that the widening keeps graphs, and
+///     hence these costs, small);
+///   - the collapsing union of the replacement rule vs the exact union
+///     (the growth-avoiding variant of Section 7.2.2);
+///   - the or-degree cap's effect on operation cost (Table 3's (5)/(2));
+///   - widening cost on the worked examples of Section 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "typegraph/GrammarParser.h"
+#include "typegraph/GraphOps.h"
+#include "typegraph/Widening.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gaia;
+
+namespace {
+
+/// Builds a depth-D "unrolled list of tokens" graph: the kind of finite
+/// approximation the fixpoint feeds the widening before a cycle forms.
+TypeGraph unrolledList(SymbolTable &Syms, unsigned Depth,
+                       unsigned Alphabet) {
+  TypeGraph G;
+  NodeId Tail = G.addOr({G.addFunc(Syms.nilFunctor(), {})});
+  for (unsigned D = 0; D != Depth; ++D) {
+    std::vector<NodeId> ElemAlts;
+    for (unsigned A = 0; A != Alphabet; ++A) {
+      NodeId Arg = G.addOr({G.addAny()});
+      ElemAlts.push_back(
+          G.addFunc(Syms.functor("f" + std::to_string(A), 1), {Arg}));
+    }
+    NodeId Elem = G.addOr(std::move(ElemAlts));
+    NodeId Cons = G.addFunc(Syms.consFunctor(), {Elem, Tail});
+    NodeId Nil = G.addFunc(Syms.nilFunctor(), {});
+    Tail = G.addOr({Nil, Cons});
+  }
+  G.setRoot(Tail);
+  return normalizeGraph(G, Syms);
+}
+
+} // namespace
+
+static void BM_Inclusion(benchmark::State &State) {
+  SymbolTable Syms;
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  TypeGraph A = unrolledList(Syms, Depth, 3);
+  TypeGraph B = unrolledList(Syms, Depth + 1, 3);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(graphIncludes(B, A, Syms));
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_Inclusion)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+static void BM_Union(benchmark::State &State) {
+  SymbolTable Syms;
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  TypeGraph A = unrolledList(Syms, Depth, 3);
+  TypeGraph B = unrolledList(Syms, Depth, 4);
+  for (auto _ : State) {
+    TypeGraph U = graphUnion(A, B, Syms);
+    benchmark::DoNotOptimize(U.numNodes());
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_Union)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+static void BM_Intersect(benchmark::State &State) {
+  SymbolTable Syms;
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  TypeGraph A = unrolledList(Syms, Depth, 3);
+  TypeGraph B = unrolledList(Syms, Depth + 2, 3);
+  for (auto _ : State) {
+    TypeGraph M = graphIntersect(A, B, Syms);
+    benchmark::DoNotOptimize(M.numNodes());
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_Intersect)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+static void BM_Widen(benchmark::State &State) {
+  SymbolTable Syms;
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  TypeGraph A = unrolledList(Syms, Depth, 3);
+  TypeGraph B = unrolledList(Syms, Depth + 1, 3);
+  for (auto _ : State) {
+    TypeGraph W = graphWiden(A, B, Syms);
+    benchmark::DoNotOptimize(W.numNodes());
+  }
+  State.SetComplexityN(Depth);
+}
+BENCHMARK(BM_Widen)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+/// The headline property: the widened graph stays SMALL regardless of
+/// how deep the iterates grow (reported as a counter, not a timing).
+static void BM_WidenResultSize(benchmark::State &State) {
+  SymbolTable Syms;
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  TypeGraph A = unrolledList(Syms, Depth, 3);
+  TypeGraph B = unrolledList(Syms, Depth + 1, 3);
+  uint64_t Size = 0;
+  for (auto _ : State) {
+    TypeGraph W = graphWiden(A, B, Syms);
+    Size = W.sizeMetric();
+    benchmark::DoNotOptimize(Size);
+  }
+  State.counters["input_size"] = static_cast<double>(B.sizeMetric());
+  State.counters["widened_size"] = static_cast<double>(Size);
+}
+BENCHMARK(BM_WidenResultSize)->RangeMultiplier(2)->Range(2, 32);
+
+static void BM_OrCapUnion(benchmark::State &State) {
+  SymbolTable Syms;
+  // Wide disjunctions: or-cap collapses them to Any (cheaper ops).
+  unsigned Cap = static_cast<unsigned>(State.range(0));
+  TypeGraph A = unrolledList(Syms, 8, 6);
+  TypeGraph B = unrolledList(Syms, 8, 7);
+  NormalizeOptions Opts;
+  Opts.OrCap = Cap;
+  for (auto _ : State) {
+    TypeGraph U = graphUnion(A, B, Syms, Opts);
+    benchmark::DoNotOptimize(U.numNodes());
+  }
+}
+BENCHMARK(BM_OrCapUnion)->Arg(0)->Arg(5)->Arg(2);
+
+static void BM_CollapsingVsExactUnion(benchmark::State &State) {
+  // The replacement rule's collapsing union vs the exact union on the
+  // Figure 6 graphs (collapse must be cheaper AND smaller).
+  SymbolTable Syms;
+  std::string Err;
+  TypeGraph Gn = *parseGrammar(
+      "Tn ::= 0 | +(T3,T6).\n"
+      "T3 ::= 0 | +(Z,T4).\nZ ::= 0.\n"
+      "T4 ::= 1 | *(T4,T5).\n"
+      "T5 ::= cst(Any) | par(Tn) | var(Any).\n"
+      "T6 ::= 1 | *(T6,T7).\n"
+      "T7 ::= cst(Any) | par(T3) | var(Any).",
+      Syms, &Err);
+  bool Collapsing = State.range(0) != 0;
+  for (auto _ : State) {
+    TypeGraph U = Collapsing
+                      ? collapsingUnionFrom(Gn, {Gn.root()}, Syms)
+                      : normalizeFrom(Gn, {Gn.root()}, Syms);
+    benchmark::DoNotOptimize(U.numNodes());
+  }
+}
+BENCHMARK(BM_CollapsingVsExactUnion)->Arg(0)->Arg(1);
+
+static void BM_Figure6Widening(benchmark::State &State) {
+  SymbolTable Syms;
+  std::string Err;
+  TypeGraph Old = *parseGrammar("To ::= 0 | +(Z,T1).\nZ ::= 0.\n"
+                                "T1 ::= 1 | *(T1,T2).\n"
+                                "T2 ::= cst(Any) | par(To) | var(Any).",
+                                Syms, &Err);
+  TypeGraph New = *parseGrammar(
+      "Tn ::= 0 | +(T3,T6).\n"
+      "T3 ::= 0 | +(Z,T4).\nZ ::= 0.\n"
+      "T4 ::= 1 | *(T4,T5).\n"
+      "T5 ::= cst(Any) | par(Tn) | var(Any).\n"
+      "T6 ::= 1 | *(T6,T7).\n"
+      "T7 ::= cst(Any) | par(T3) | var(Any).",
+      Syms, &Err);
+  for (auto _ : State) {
+    TypeGraph W = graphWiden(Old, New, Syms);
+    benchmark::DoNotOptimize(W.numNodes());
+  }
+}
+BENCHMARK(BM_Figure6Widening);
+
+BENCHMARK_MAIN();

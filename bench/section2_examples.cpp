@@ -1,0 +1,77 @@
+//===- bench/section2_examples.cpp - Section 2 illustration harness -------==//
+///
+/// \file
+/// Regenerates the Section 2 walkthrough: for every illustration example
+/// the inferred grammars and the analysis time (the paper reports 0.01s
+/// to 0.56s on a SPARC-10), plus google-benchmark timings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "typegraph/GrammarPrinter.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gaia;
+
+// Analysis times the paper quotes in Section 2, keyed by example.
+static double paperSeconds(const std::string &Key) {
+  if (Key == "nreverse")
+    return 0.01;
+  if (Key == "process")
+    return 0.34;
+  if (Key == "process_mutual")
+    return 0.08;
+  if (Key == "nested")
+    return 0.09;
+  if (Key == "AR")
+    return 0.11;
+  if (Key == "AR1")
+    return 0.56;
+  if (Key == "gen")
+    return 0.07;
+  if (Key == "tokenizer")
+    return 0.42;
+  return 0;
+}
+
+static void printSection2() {
+  printHeaderBlock("Section 2", "functionality of the type system");
+  for (const BenchmarkProgram &B : section2Examples()) {
+    AnalysisResult R = runBenchmark(B);
+    std::printf("--- %s  goal %s\n", B.Key.c_str(), B.GoalSpec.c_str());
+    if (!R.QuerySucceeds) {
+      std::printf("    the goal cannot succeed\n");
+      continue;
+    }
+    for (size_t I = 0; I != R.QueryOutput.size(); ++I)
+      std::printf("    arg %zu: %s\n", I + 1,
+                  printGrammarInline(R.QueryOutput[I], *R.Syms).c_str());
+    double Paper = paperSeconds(B.Key);
+    if (Paper > 0)
+      std::printf("    time: %.3fs (paper: %.2fs on a SPARC-10)\n",
+                  R.Stats.SolveSeconds, Paper);
+    else
+      std::printf("    time: %.3fs\n", R.Stats.SolveSeconds);
+  }
+  std::printf("\n");
+}
+
+static void BM_Section2(benchmark::State &State, const std::string &Key) {
+  const BenchmarkProgram *B = findBenchmark(Key);
+  for (auto _ : State) {
+    AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec);
+    benchmark::DoNotOptimize(R.QuerySucceeds);
+  }
+}
+
+int main(int argc, char **argv) {
+  printSection2();
+  for (const BenchmarkProgram &B : section2Examples())
+    benchmark::RegisterBenchmark(("BM_Section2/" + B.Key).c_str(),
+                                 BM_Section2, B.Key);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

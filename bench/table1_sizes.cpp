@@ -1,0 +1,66 @@
+//===- bench/table1_sizes.cpp - Reproduce Table 1 -------------------------==//
+///
+/// \file
+/// Table 1: sizes of the programs — number of procedures, clauses,
+/// program points, goals, and the static call-tree size — printed next
+/// to the paper's values, plus google-benchmark timings of the front
+/// end (parse + normalize + metrics) itself.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gaia;
+
+static void printTable1() {
+  printHeaderBlock("Table 1", "sizes of the programs");
+  std::printf("%-4s | %s\n", "", sizeTableHeader().c_str());
+  for (const BenchmarkProgram &B : table123Suite()) {
+    SymbolTable Syms;
+    std::string Err;
+    std::optional<Program> Prog = Program::parse(B.Source, Syms, &Err);
+    if (!Prog) {
+      std::printf("%s: parse error: %s\n", B.Key.c_str(), Err.c_str());
+      continue;
+    }
+    NProgram NProg = NProgram::fromProgram(*Prog, Syms);
+    std::string ErrPat;
+    auto Pattern = parseInputPattern(B.GoalSpec, &ErrPat);
+    FunctorId Entry = Syms.functor(Pattern->PredName, Pattern->arity());
+    SizeMetrics M = computeSizeMetrics(*Prog, NProg, Syms, Entry);
+    std::printf("ours | %s\n", formatSizeRow(B.Key, M).c_str());
+    if (const PaperTable1Row *P = paperTable1(B.Key)) {
+      SizeMetrics PM;
+      PM.NumProcedures = P->Procedures;
+      PM.NumClauses = P->Clauses;
+      PM.NumProgramPoints = P->ProgramPoints;
+      PM.NumGoals = P->Goals;
+      PM.StaticCallTreeSize = P->CallTree;
+      std::printf("papr | %s\n", formatSizeRow(B.Key, PM).c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+static void BM_FrontEnd(benchmark::State &State, const std::string &Key) {
+  const BenchmarkProgram *B = findBenchmark(Key);
+  for (auto _ : State) {
+    SymbolTable Syms;
+    std::string Err;
+    std::optional<Program> Prog = Program::parse(B->Source, Syms, &Err);
+    NProgram NProg = NProgram::fromProgram(*Prog, Syms);
+    benchmark::DoNotOptimize(NProg.numProgramPoints());
+  }
+}
+
+int main(int argc, char **argv) {
+  printTable1();
+  for (const BenchmarkProgram &B : table123Suite())
+    benchmark::RegisterBenchmark(("BM_FrontEnd/" + B.Key).c_str(),
+                                 BM_FrontEnd, B.Key);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench/table2_recursion.cpp - Reproduce Table 2 ---------------------==//
+///
+/// \file
+/// Table 2: the syntactic form of the programs — tail recursive, locally
+/// recursive, mutually recursive and non-recursive procedure counts —
+/// printed next to the paper's values, plus timings of the call-graph /
+/// SCC machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gaia;
+
+static void printTable2() {
+  printHeaderBlock("Table 2", "syntactic form of the programs");
+  std::printf("%-4s | %s\n", "", recursionTableHeader().c_str());
+  for (const BenchmarkProgram &B : table123Suite()) {
+    SymbolTable Syms;
+    std::string Err;
+    std::optional<Program> Prog = Program::parse(B.Source, Syms, &Err);
+    if (!Prog) {
+      std::printf("%s: parse error: %s\n", B.Key.c_str(), Err.c_str());
+      continue;
+    }
+    RecursionMetrics M = classifyRecursion(*Prog, Syms);
+    std::printf("ours | %s\n", formatRecursionRow(B.Key, M).c_str());
+    if (const PaperTable2Row *P = paperTable2(B.Key)) {
+      RecursionMetrics PM;
+      PM.TailRecursive = P->Tail;
+      PM.LocallyRecursive = P->Local;
+      PM.MutuallyRecursive = P->Mutual;
+      PM.NonRecursive = P->NonRec;
+      std::printf("papr | %s\n", formatRecursionRow(B.Key, PM).c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+static void BM_Classify(benchmark::State &State, const std::string &Key) {
+  const BenchmarkProgram *B = findBenchmark(Key);
+  SymbolTable Syms;
+  std::string Err;
+  std::optional<Program> Prog = Program::parse(B->Source, Syms, &Err);
+  for (auto _ : State) {
+    RecursionMetrics M = classifyRecursion(*Prog, Syms);
+    benchmark::DoNotOptimize(M.TailRecursive);
+  }
+}
+
+int main(int argc, char **argv) {
+  printTable2();
+  for (const BenchmarkProgram &B : table123Suite())
+    benchmark::RegisterBenchmark(("BM_Classify/" + B.Key).c_str(),
+                                 BM_Classify, B.Key);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

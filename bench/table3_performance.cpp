@@ -1,0 +1,68 @@
+//===- bench/table3_performance.cpp - Reproduce Table 3 -------------------==//
+///
+/// \file
+/// Table 3: computation results — analysis CPU time, procedure
+/// iterations, clause iterations, and the or-degree-capped variants
+/// (cap 5 and cap 2, Section 9's generalization that replaces an
+/// or-vertex with too many successors by an any-vertex). Printed next to
+/// the paper's SPARC-10 numbers; absolute times differ, the shape (which
+/// programs are cheap, which pathological, and that caps help the
+/// pathological one) is the reproduction target. google-benchmark
+/// timings cover the quick programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gaia;
+
+static void printTable3() {
+  printHeaderBlock("Table 3", "computation results (type-graph domain)");
+  std::printf("%-4s | %s\n", "", perfTableHeader().c_str());
+  for (const BenchmarkProgram &B : table123Suite()) {
+    AnalyzerOptions Base;
+    AnalysisResult R = runBenchmark(B, Base);
+    AnalyzerOptions Cap5 = Base;
+    Cap5.OrCap = 5;
+    AnalysisResult R5 = runBenchmark(B, Cap5);
+    AnalyzerOptions Cap2 = Base;
+    Cap2.OrCap = 2;
+    AnalysisResult R2 = runBenchmark(B, Cap2);
+    std::printf("ours | %s\n",
+                formatPerfRow(B.Key, R.Stats.SolveSeconds,
+                              R.Stats.ProcedureIterations,
+                              R.Stats.ClauseIterations,
+                              R5.Stats.SolveSeconds,
+                              R2.Stats.SolveSeconds)
+                    .c_str());
+    if (const PaperTable3Row *P = paperTable3(B.Key))
+      std::printf("papr | %s\n",
+                  formatPerfRow(B.Key, P->Cpu, P->ProcIters,
+                                P->ClauseIters, P->Cpu5, P->Cpu2)
+                      .c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+static void BM_Analyze(benchmark::State &State, const std::string &Key) {
+  const BenchmarkProgram *B = findBenchmark(Key);
+  for (auto _ : State) {
+    AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec);
+    benchmark::DoNotOptimize(R.QuerySucceeds);
+  }
+}
+
+int main(int argc, char **argv) {
+  printTable3();
+  // Register timing loops only for the fast programs; the slow ones are
+  // covered by the table above.
+  for (const char *Key : {"QU", "PG", "PL", "BR", "CS", "PE", "KA"})
+    benchmark::RegisterBenchmark((std::string("BM_Analyze/") + Key).c_str(),
+                                 BM_Analyze, std::string(Key));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

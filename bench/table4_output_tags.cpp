@@ -1,0 +1,11 @@
+//===- bench/table4_output_tags.cpp - Reproduce Table 4 -------------------==//
+///
+/// \file
+/// Table 4: accuracy results for output tags — per-tag counts for the
+/// type-graph analysis with the principal-functor counts in parentheses,
+/// and the improvement columns A/AI/AR and C/CI/CR.
+///
+//===----------------------------------------------------------------------===//
+
+#define TAGS_OUTPUT 1
+#include "table45_tags.inc"

@@ -1,0 +1,10 @@
+//===- bench/table5_input_tags.cpp - Reproduce Table 5 --------------------==//
+///
+/// \file
+/// Table 5: accuracy results for input tags (same columns as Table 4,
+/// computed over the lub of the input patterns of each procedure).
+///
+//===----------------------------------------------------------------------===//
+
+#define TAGS_OUTPUT 0
+#include "table45_tags.inc"

@@ -1,0 +1,65 @@
+//===- examples/quickstart.cpp - Five-minute tour of the analyzer ---------==//
+///
+/// \file
+/// Quickstart: analyze a small Prolog program with the type-graph domain
+/// and print the inferred success types as tree grammars — the paper's
+/// naive-reverse walkthrough from Section 2.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Report.h"
+#include "typegraph/GrammarPrinter.h"
+
+#include <iostream>
+
+using namespace gaia;
+
+int main() {
+  // A Prolog program: naive reverse and append.
+  const std::string Source = R"PL(
+    nreverse([], []).
+    nreverse([F|T], Res) :- nreverse(T, Trev), append(Trev, [F], Res).
+
+    append([], X, X).
+    append([F|T], S, [F|R]) :- append(T, S, R).
+  )PL";
+
+  // Analyze the query nreverse(Any, Any): "how is nreverse used, and
+  // what do its arguments look like on success?"
+  AnalysisResult R = analyzeProgram(Source, "nreverse(any,any)");
+  if (!R.Ok) {
+    std::cerr << "analysis failed: " << R.Error << "\n";
+    return 1;
+  }
+
+  std::cout << "== success types of nreverse(Any,Any) ==\n";
+  std::cout << formatQueryResult(R, "nreverse(any,any)");
+
+  // Per-predicate summaries: every procedure the analysis touched, with
+  // the lub of its input and output patterns and the extracted WAM tags.
+  std::cout << "\n== per-predicate summaries ==\n";
+  for (const PredicateSummary &S : R.Summaries) {
+    std::cout << S.Name << "/" << S.Arity << "  (" << S.NumTuples
+              << " input pattern(s))\n";
+    for (uint32_t I = 0; I != S.Arity; ++I) {
+      std::cout << "  arg " << I + 1 << ": in "
+                << printGrammarInline(S.Input[I].Graph, *R.Syms)
+                << "  [" << tagName(S.Input[I].Tag) << "]  out "
+                << printGrammarInline(S.Output[I].Graph, *R.Syms)
+                << "  [" << tagName(S.Output[I].Tag) << "]\n";
+    }
+  }
+
+  std::cout << "\n== statistics ==\n"
+            << "procedure iterations: " << R.Stats.ProcedureIterations
+            << "\nclause iterations:    " << R.Stats.ClauseIterations
+            << "\ninput patterns:       " << R.Stats.InputPatterns
+            << "\nanalysis time:        " << R.Stats.SolveSeconds
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+//===- core/Analyzer.cpp -----------------------------------------------------=//
+
+#include "core/Analyzer.h"
+
+#include "domains/PFLeaf.h"
+#include "domains/TypeLeaf.h"
+#include "typegraph/GrammarParser.h"
+
+using namespace gaia;
+
+namespace {
+
+/// Builds the [] | cons(Int, T) graph for intlist specs.
+static TypeGraph makeIntList(SymbolTable &Syms) {
+  TypeGraph G;
+  NodeId Nil = G.addFunc(Syms.nilFunctor(), {});
+  NodeId HeadLeaf = G.addInt();
+  NodeId Head = G.addOr({HeadLeaf});
+  NodeId Root = G.addOr({});
+  NodeId Cons = G.addFunc(Syms.consFunctor(), {Head, Root});
+  G.node(Root).Succs = {Nil, Cons};
+  G.setRoot(Root);
+  G.sortOrSuccessors(Syms);
+  return G;
+}
+
+template <typename Leaf>
+PatSub<Leaf> makeInputSub(const typename Leaf::Context &C,
+                          const InputPattern &P, SymbolTable &Syms) {
+  PatSub<Leaf> S = PatSub<Leaf>::top(C, P.arity());
+  for (uint32_t I = 0; I != P.arity(); ++I) {
+    switch (P.Args[I]) {
+    case ArgSpec::Any:
+      break;
+    case ArgSpec::List:
+      S.refineSlot(C, I, Leaf::listValue(C));
+      break;
+    case ArgSpec::Int:
+      S.refineSlot(C, I, Leaf::intValue(C));
+      break;
+    case ArgSpec::IntList:
+      if constexpr (std::is_same_v<Leaf, TypeLeaf>)
+        S.refineSlot(C, I, makeIntList(Syms));
+      break;
+    }
+  }
+  return S;
+}
+
+template <typename Leaf>
+void runWithLeaf(AnalysisResult &R, const typename Leaf::Context &C,
+                 SymbolTable &Syms, const Program &Prog,
+                 const NProgram &NProg, const InputPattern &Pattern,
+                 const EngineOptions &EngOpts) {
+  FunctorId Entry = Syms.functor(Pattern.PredName, Pattern.arity());
+  if (!Prog.defines(Entry)) {
+    R.Error = "goal predicate " + Syms.functorString(Entry) +
+              " is not defined in the program";
+    return;
+  }
+
+  Engine<Leaf> Eng(NProg, C, EngOpts);
+  PatSub<Leaf> In = makeInputSub<Leaf>(C, Pattern, Syms);
+  PatSub<Leaf> Out = Eng.solve(Entry, In);
+  R.Stats = Eng.stats();
+
+  R.QuerySucceeds = !Out.isBottom();
+  for (uint32_t I = 0; I != Pattern.arity(); ++I)
+    R.QueryOutput.push_back(
+        Out.isBottom() ? TypeGraph::makeBottom()
+                       : Leaf::toGraph(C, Out.slotValue(C, I)));
+
+  // Per-predicate summaries: lub over all memo tuples.
+  auto Tuples = Eng.tuples();
+  for (const Procedure &P : Prog.procedures()) {
+    PredicateSummary S;
+    S.Name = Syms.functorName(P.Fn);
+    S.Arity = Syms.functorArity(P.Fn);
+    S.NumClauses = static_cast<uint32_t>(P.Clauses.size());
+    PatSub<Leaf> InLub = PatSub<Leaf>::bottom(S.Arity);
+    PatSub<Leaf> OutLub = PatSub<Leaf>::bottom(S.Arity);
+    for (const auto &T : Tuples) {
+      if (T.Pred != P.Fn)
+        continue;
+      ++S.NumTuples;
+      InLub = PatSub<Leaf>::join(C, InLub, T.In);
+      OutLub = PatSub<Leaf>::join(C, OutLub, T.Out);
+    }
+    for (uint32_t I = 0; I != S.Arity; ++I) {
+      ArgInfo AIn, AOut;
+      AIn.Graph = InLub.isBottom()
+                      ? TypeGraph::makeBottom()
+                      : Leaf::toGraph(C, InLub.slotValue(C, I));
+      AOut.Graph = OutLub.isBottom()
+                       ? TypeGraph::makeBottom()
+                       : Leaf::toGraph(C, OutLub.slotValue(C, I));
+      AIn.Tag = tagForGraph(AIn.Graph, Syms);
+      AOut.Tag = tagForGraph(AOut.Graph, Syms);
+      S.Input.push_back(std::move(AIn));
+      S.Output.push_back(std::move(AOut));
+    }
+    R.Summaries.push_back(std::move(S));
+  }
+  R.Ok = true;
+}
+
+} // namespace
+
+AnalysisResult gaia::analyzeProgram(const std::string &Source,
+                                    const std::string &GoalSpec,
+                                    const AnalyzerOptions &Opts) {
+  AnalysisResult R;
+  R.Syms = std::make_shared<SymbolTable>();
+  SymbolTable &Syms = *R.Syms;
+
+  std::string Err;
+  std::optional<InputPattern> Pattern = parseInputPattern(GoalSpec, &Err);
+  if (!Pattern) {
+    R.Error = Err;
+    return R;
+  }
+  std::optional<Program> Prog = Program::parse(Source, Syms, &Err);
+  if (!Prog) {
+    R.Error = Err;
+    return R;
+  }
+  NProgram NProg = NProgram::fromProgram(*Prog, Syms);
+  for (FunctorId Fn : NProg.unknownPredicates())
+    R.UnknownPredicates.push_back(Syms.functorString(Fn));
+
+  FunctorId Entry = Syms.functor(Pattern->PredName, Pattern->arity());
+  R.Sizes = computeSizeMetrics(*Prog, NProg, Syms, Entry);
+  R.Recursion = classifyRecursion(*Prog, Syms);
+
+  EngineOptions EngOpts;
+  EngOpts.RefineArithComparisons = Opts.RefineArithComparisons;
+  EngOpts.MaxInputPatterns = Opts.MaxInputPatterns;
+  if (Opts.Domain == DomainKind::TypeGraphs) {
+    NormalizeOptions Norm;
+    Norm.OrCap = Opts.OrCap;
+    WideningOptions Widen;
+    Widen.Norm = Norm;
+    Widen.Mode = Opts.Widening;
+    Widen.DepthK = Opts.DepthK;
+    std::vector<TypeGraph> Database;
+    for (const std::string &Grammar : Opts.TypeDatabase) {
+      std::optional<TypeGraph> G = parseGrammar(Grammar, Syms, &Err);
+      if (!G) {
+        R.Error = "type database entry: " + Err;
+        return R;
+      }
+      Database.push_back(std::move(*G));
+    }
+    if (!Database.empty())
+      Widen.Database = &Database;
+    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats};
+    runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
+  } else {
+    PFLeaf::Context C{Syms};
+    runWithLeaf<PFLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
+  }
+  return R;
+}

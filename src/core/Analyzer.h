@@ -1,0 +1,100 @@
+//===- core/Analyzer.h - Top-level type analysis facade -------------------==//
+///
+/// \file
+/// The public entry point of the library: GAIA(Pat(Type)) as described
+/// in Section 3, plus the principal-functor baseline GAIA(Pat(PF)) used
+/// by the accuracy evaluation. Given a Prolog source and a goal
+/// specification, analyzeProgram returns the query's output pattern,
+/// per-predicate input/output summaries (with extracted tags), engine
+/// statistics and the Table 1/2 program metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_CORE_ANALYZER_H
+#define GAIA_CORE_ANALYZER_H
+
+#include "core/InputPattern.h"
+#include "core/Tags.h"
+#include "gaia/Engine.h"
+#include "prolog/Metrics.h"
+#include "typegraph/Widening.h"
+
+#include <memory>
+#include <string>
+
+namespace gaia {
+
+/// Which abstract domain to run.
+enum class DomainKind : uint8_t {
+  TypeGraphs,        ///< the paper's system Pat(Type)
+  PrincipalFunctors, ///< the baseline Pat(PF) of Tables 4/5
+};
+
+struct AnalyzerOptions {
+  DomainKind Domain = DomainKind::TypeGraphs;
+  /// Or-degree cap (0 = unbounded; 5 and 2 reproduce Table 3's capped
+  /// configurations).
+  uint32_t OrCap = 0;
+  /// Forwarded to EngineOptions::RefineArithComparisons.
+  bool RefineArithComparisons = false;
+  /// Forwarded to EngineOptions::MaxInputPatterns (0 = unbounded, the
+  /// paper's measured configuration).
+  uint32_t MaxInputPatterns = 8;
+  /// Widening strategy: the paper's operator, or the depth-k truncation
+  /// baseline it is measured against (bench/widening_ablation).
+  WidenMode Widening = WidenMode::Paper;
+  /// Truncation depth for WidenMode::DepthK.
+  uint32_t DepthK = 4;
+  /// Optional type database for the widening (the paper's conclusion
+  /// extension): tree grammars in the notation of GrammarParser, e.g.
+  /// "T ::= [] | cons(Any,T).". Parsed once per analysis.
+  std::vector<std::string> TypeDatabase;
+};
+
+/// One analyzed argument position.
+struct ArgInfo {
+  TypeGraph Graph; ///< bottom when the argument was never reached
+  ArgTag Tag = ArgTag::None;
+};
+
+/// Per-predicate summary: the lub over all memo-table tuples ("a
+/// procedure is associated with a single version", Section 9).
+struct PredicateSummary {
+  std::string Name;
+  uint32_t Arity = 0;
+  uint32_t NumClauses = 0;
+  uint32_t NumTuples = 0; ///< polyvariant versions; 0 = unreached
+  std::vector<ArgInfo> Input;
+  std::vector<ArgInfo> Output;
+};
+
+struct AnalysisResult {
+  bool Ok = false;
+  std::string Error;
+
+  /// Symbol table the graphs refer to (kept alive for printing and for
+  /// parsing expected grammars in tests).
+  std::shared_ptr<SymbolTable> Syms;
+
+  /// Whether the query can succeed at all and its output types.
+  bool QuerySucceeds = false;
+  std::vector<TypeGraph> QueryOutput;
+
+  std::vector<PredicateSummary> Summaries;
+  std::vector<std::string> UnknownPredicates;
+
+  EngineStats Stats;
+  WideningStats WStats;
+  SizeMetrics Sizes;
+  RecursionMetrics Recursion;
+};
+
+/// Runs the analysis of \p Source for the goal \p GoalSpec (e.g.
+/// "nreverse(any,any)").
+AnalysisResult analyzeProgram(const std::string &Source,
+                              const std::string &GoalSpec,
+                              const AnalyzerOptions &Opts = {});
+
+} // namespace gaia
+
+#endif // GAIA_CORE_ANALYZER_H

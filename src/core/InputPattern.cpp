@@ -1,0 +1,67 @@
+//===- core/InputPattern.cpp ------------------------------------------------=//
+
+#include "core/InputPattern.h"
+
+#include <cctype>
+
+using namespace gaia;
+
+std::optional<InputPattern> gaia::parseInputPattern(const std::string &Spec,
+                                                    std::string *Err) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<InputPattern> {
+    if (Err)
+      *Err = Msg;
+    return std::nullopt;
+  };
+  InputPattern P;
+  size_t Pos = 0;
+  auto SkipSpace = [&] {
+    while (Pos < Spec.size() &&
+           std::isspace(static_cast<unsigned char>(Spec[Pos])))
+      ++Pos;
+  };
+  SkipSpace();
+  size_t Start = Pos;
+  while (Pos < Spec.size() &&
+         (std::isalnum(static_cast<unsigned char>(Spec[Pos])) ||
+          Spec[Pos] == '_'))
+    ++Pos;
+  if (Pos == Start)
+    return Fail("expected predicate name in goal spec '" + Spec + "'");
+  P.PredName = Spec.substr(Start, Pos - Start);
+  SkipSpace();
+  if (Pos >= Spec.size())
+    return P; // arity 0
+  if (Spec[Pos] != '(')
+    return Fail("expected '(' in goal spec '" + Spec + "'");
+  ++Pos;
+  while (true) {
+    SkipSpace();
+    size_t WordStart = Pos;
+    while (Pos < Spec.size() &&
+           std::isalnum(static_cast<unsigned char>(Spec[Pos])))
+      ++Pos;
+    std::string Word = Spec.substr(WordStart, Pos - WordStart);
+    if (Word == "any") {
+      P.Args.push_back(ArgSpec::Any);
+    } else if (Word == "list") {
+      P.Args.push_back(ArgSpec::List);
+    } else if (Word == "int") {
+      P.Args.push_back(ArgSpec::Int);
+    } else if (Word == "intlist") {
+      P.Args.push_back(ArgSpec::IntList);
+    } else {
+      return Fail("unknown argument spec '" + Word + "' in '" + Spec +
+                  "'");
+    }
+    SkipSpace();
+    if (Pos < Spec.size() && Spec[Pos] == ',') {
+      ++Pos;
+      continue;
+    }
+    break;
+  }
+  if (Pos >= Spec.size() || Spec[Pos] != ')')
+    return Fail("expected ')' in goal spec '" + Spec + "'");
+  return P;
+}

@@ -1,0 +1,45 @@
+//===- core/InputPattern.h - Query input pattern specs --------------------==//
+///
+/// \file
+/// Parses the textual goal specifications used throughout the paper's
+/// evaluation: "nreverse(any,any)", "qsort(list,any)", "inc(int,any)".
+/// An input pattern names the top-level predicate and gives type
+/// information for each argument (Section 2: "The input pattern gives
+/// information on how the program is used").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_CORE_INPUTPATTERN_H
+#define GAIA_CORE_INPUTPATTERN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/// Argument type in a goal spec.
+enum class ArgSpec : uint8_t {
+  Any,     ///< all terms
+  List,    ///< [] | cons(Any, list)
+  Int,     ///< integers
+  IntList, ///< [] | cons(Int, intlist)
+};
+
+/// A parsed goal specification.
+struct InputPattern {
+  std::string PredName;
+  std::vector<ArgSpec> Args;
+
+  uint32_t arity() const { return static_cast<uint32_t>(Args.size()); }
+};
+
+/// Parses "pred(any,list,...)" or a bare "pred" (arity 0). Returns
+/// std::nullopt with a message in \p Err on malformed input.
+std::optional<InputPattern> parseInputPattern(const std::string &Spec,
+                                              std::string *Err = nullptr);
+
+} // namespace gaia
+
+#endif // GAIA_CORE_INPUTPATTERN_H

@@ -1,0 +1,86 @@
+//===- core/Tags.cpp ---------------------------------------------------------=//
+
+#include "core/Tags.h"
+
+// (shallow classification: no graph operations needed)
+
+using namespace gaia;
+
+ArgTag gaia::tagForGraph(const TypeGraph &G, SymbolTable &Syms) {
+  if (G.isBottomGraph())
+    return ArgTag::None; // unreachable argument: nothing to report
+  // Tags describe the WAM-level tag of the argument cell, so only the
+  // principal functors matter (shallow classification).
+  const TGNode &Root = G.node(G.root());
+  bool AllNil = true, AllCons = true, AllNilOrCons = true;
+  bool AllCompound = true, AllAtomic = true;
+  for (NodeId S : Root.Succs) {
+    const TGNode &N = G.node(S);
+    if (N.Kind == NodeKind::Any)
+      return ArgTag::None; // may be unbound or anything
+    if (N.Kind == NodeKind::Int) {
+      AllNil = AllCons = AllNilOrCons = AllCompound = false;
+      continue;
+    }
+    bool IsNil = N.Fn == Syms.nilFunctor();
+    bool IsCons = N.Fn == Syms.consFunctor();
+    bool IsCompound = Syms.functorArity(N.Fn) > 0;
+    AllNil &= IsNil;
+    AllCons &= IsCons;
+    AllNilOrCons &= IsNil || IsCons;
+    AllCompound &= IsCompound;
+    AllAtomic &= !IsCompound;
+  }
+  if (AllNil)
+    return ArgTag::NI;
+  if (AllCons)
+    return ArgTag::CO;
+  if (AllNilOrCons)
+    return ArgTag::LI;
+  if (AllCompound)
+    return ArgTag::ST;
+  if (AllAtomic)
+    return ArgTag::DI;
+  return ArgTag::HY;
+}
+
+const char *gaia::tagName(ArgTag Tag) {
+  switch (Tag) {
+  case ArgTag::None:
+    return "--";
+  case ArgTag::NI:
+    return "NI";
+  case ArgTag::CO:
+    return "CO";
+  case ArgTag::LI:
+    return "LI";
+  case ArgTag::ST:
+    return "ST";
+  case ArgTag::DI:
+    return "DI";
+  case ArgTag::HY:
+    return "HY";
+  }
+  return "??";
+}
+
+bool gaia::tagImproves(ArgTag TypeTag, ArgTag PFTag) {
+  if (TypeTag == PFTag)
+    return false;
+  switch (PFTag) {
+  case ArgTag::None:
+    return TypeTag != ArgTag::None;
+  case ArgTag::HY:
+    return TypeTag != ArgTag::None && TypeTag != ArgTag::HY;
+  case ArgTag::LI:
+    return TypeTag == ArgTag::CO || TypeTag == ArgTag::NI;
+  case ArgTag::ST:
+    return TypeTag == ArgTag::CO;
+  case ArgTag::DI:
+    return TypeTag == ArgTag::NI;
+  case ArgTag::NI:
+  case ArgTag::CO:
+    return false; // already maximal
+  }
+  return false;
+}

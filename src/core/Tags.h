@@ -1,0 +1,41 @@
+//===- core/Tags.h - WAM tag extraction (Tables 4 and 5) ------------------==//
+///
+/// \file
+/// Section 9's accuracy measurement: from each argument's inferred type
+/// the analyzer extracts the tag information a compiler would use for
+/// indexing and specialized code generation:
+///
+///   NI  empty list        CO  cons cell         LI  list ([] or cons)
+///   ST  structure          DI  atom/atomic       HY  structure or atom
+///
+/// An argument whose type admits Any (in particular an unbound
+/// variable) carries no tag. A principal-functor analysis can only ever
+/// produce NI/CO/ST/DI (single functor); the gain of type graphs comes
+/// from the disjunctive and recursive tags LI and HY and from
+/// disjunctions within ST/DI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_CORE_TAGS_H
+#define GAIA_CORE_TAGS_H
+
+#include "typegraph/TypeGraph.h"
+
+namespace gaia {
+
+enum class ArgTag : uint8_t { None, NI, CO, LI, ST, DI, HY };
+
+/// Extracts the tag of an argument whose success type is \p G.
+ArgTag tagForGraph(const TypeGraph &G, SymbolTable &Syms);
+
+/// Short column name as printed in Tables 4/5 ("NI", "CO", ...; None
+/// prints as "--").
+const char *tagName(ArgTag Tag);
+
+/// True if \p TypeTag is strictly more informative than \p PFTag — the
+/// "improvement" relation behind columns AI/AR/CI/CR.
+bool tagImproves(ArgTag TypeTag, ArgTag PFTag);
+
+} // namespace gaia
+
+#endif // GAIA_CORE_TAGS_H

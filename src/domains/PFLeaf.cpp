@@ -1,0 +1,4 @@
+//===- domains/PFLeaf.cpp ----------------------------------------------------=//
+// PFLeaf is header-only; this file anchors the library target.
+
+#include "domains/PFLeaf.h"

@@ -1,0 +1,71 @@
+//===- domains/PFLeaf.h - One-point leaf domain (principal functors) ------==//
+///
+/// \file
+/// The trivial R-domain: leaves carry no information. Pat(PFLeaf) is
+/// exactly the "pattern domain preserving only principal functors" that
+/// Section 9 compares against in Tables 4 and 5 (the domain of [17],
+/// roughly Taylor's domain): all type information comes from the frame
+/// and same-value components of Pat(R).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_DOMAINS_PFLEAF_H
+#define GAIA_DOMAINS_PFLEAF_H
+
+#include "typegraph/TypeGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/// One-point leaf domain. Every leaf denotes "any term".
+struct PFLeaf {
+  /// Unit value.
+  struct Value {};
+
+  struct Context {
+    SymbolTable &Syms;
+  };
+
+  static Value any(const Context &) { return {}; }
+  static Value intValue(const Context &) { return {}; }
+  static Value listValue(const Context &) { return {}; }
+  static Value bottom(const Context &) { return {}; }
+
+  static bool isBottom(const Context &, const Value &) { return false; }
+  static bool isAny(const Context &, const Value &) { return true; }
+
+  static bool includes(const Context &, const Value &, const Value &) {
+    return true;
+  }
+  static Value meet(const Context &, const Value &, const Value &) {
+    return {};
+  }
+  static Value join(const Context &, const Value &, const Value &) {
+    return {};
+  }
+  static Value widen(const Context &, const Value &, const Value &) {
+    return {};
+  }
+
+  static bool restrictTo(const Context &Ctx, const Value &, FunctorId Fn,
+                         std::vector<Value> &ArgsOut) {
+    ArgsOut.assign(Ctx.Syms.functorArity(Fn), Value{});
+    return true;
+  }
+  static Value construct(const Context &, FunctorId,
+                         const std::vector<Value> &) {
+    return {};
+  }
+
+  static TypeGraph toGraph(const Context &, const Value &) {
+    return TypeGraph::makeAny();
+  }
+
+  static std::string print(const Context &, const Value &) { return "Any"; }
+};
+
+} // namespace gaia
+
+#endif // GAIA_DOMAINS_PFLEAF_H

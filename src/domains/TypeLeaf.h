@@ -1,0 +1,84 @@
+//===- domains/TypeLeaf.h - Type-graph leaf domain for Pat(R) -------------==//
+///
+/// \file
+/// The R-domain of the paper's system Pat(Type): each leaf subterm of a
+/// pattern carries a type graph. This adapter exposes the type-graph
+/// operations in the shape the generic pattern domain expects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_DOMAINS_TYPELEAF_H
+#define GAIA_DOMAINS_TYPELEAF_H
+
+#include "typegraph/GraphOps.h"
+#include "typegraph/Widening.h"
+
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/// Leaf domain whose values are type graphs. All operations are pure;
+/// the Context carries the symbol table, normalization knobs (or-degree
+/// cap) and widening statistics.
+struct TypeLeaf {
+  using Value = TypeGraph;
+
+  struct Context {
+    SymbolTable &Syms;
+    NormalizeOptions Norm;
+    WideningOptions Widen;
+    WideningStats *WStats = nullptr;
+  };
+
+  static Value any(const Context &) { return TypeGraph::makeAny(); }
+  static Value intValue(const Context &) { return TypeGraph::makeInt(); }
+  static Value listValue(const Context &Ctx) {
+    return TypeGraph::makeAnyList(Ctx.Syms);
+  }
+  static Value bottom(const Context &) { return TypeGraph::makeBottom(); }
+
+  static bool isBottom(const Context &, const Value &V) {
+    return V.isBottomGraph();
+  }
+  static bool isAny(const Context &Ctx, const Value &V) {
+    return graphIncludes(V, TypeGraph::makeAny(), Ctx.Syms);
+  }
+
+  static bool includes(const Context &Ctx, const Value &Big,
+                       const Value &Small) {
+    return graphIncludes(Big, Small, Ctx.Syms);
+  }
+  static Value meet(const Context &Ctx, const Value &A, const Value &B) {
+    return graphIntersect(A, B, Ctx.Syms, Ctx.Norm);
+  }
+  static Value join(const Context &Ctx, const Value &A, const Value &B) {
+    return graphUnion(A, B, Ctx.Syms, Ctx.Norm);
+  }
+  static Value widen(const Context &Ctx, const Value &Old,
+                     const Value &New) {
+    WideningOptions Opts = Ctx.Widen;
+    Opts.Norm = Ctx.Norm;
+    return graphWiden(Old, New, Ctx.Syms, Opts, Ctx.WStats);
+  }
+
+  /// Restricts \p V to terms with principal functor \p Fn. Returns false
+  /// if no such terms exist (abstract unification fails); otherwise
+  /// fills \p ArgsOut with one value per argument.
+  static bool restrictTo(const Context &Ctx, const Value &V, FunctorId Fn,
+                         std::vector<Value> &ArgsOut);
+
+  /// Builds the value f(a1, ..., an) from argument values.
+  static Value construct(const Context &Ctx, FunctorId Fn,
+                         const std::vector<Value> &Args);
+
+  /// The type graph describing the value (identity here; the PF leaf
+  /// returns Any). Lets clients extract graphs uniformly.
+  static TypeGraph toGraph(const Context &, const Value &V) { return V; }
+
+  static std::string print(const Context &Ctx, const Value &V);
+};
+
+} // namespace gaia
+
+#endif // GAIA_DOMAINS_TYPELEAF_H

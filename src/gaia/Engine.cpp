@@ -1,0 +1,13 @@
+//===- gaia/Engine.cpp - Explicit instantiations ----------------------------=//
+
+#include "gaia/Engine.h"
+
+#include "domains/PFLeaf.h"
+#include "domains/TypeLeaf.h"
+
+namespace gaia {
+
+template class Engine<TypeLeaf>;
+template class Engine<PFLeaf>;
+
+} // namespace gaia

@@ -1,0 +1,376 @@
+//===- gaia/Engine.h - The GAIA top-down fixpoint algorithm ---------------==//
+///
+/// \file
+/// The generic top-down fixpoint algorithm of Le Charlier & Van
+/// Hentenryck (TOPLAS'94) as summarized in Section 4 of the paper: given
+/// a normalized program and an abstract domain (Pat over some leaf), it
+/// computes a small but sufficient subset of the least fixpoint (or a
+/// postfixpoint) of the abstract semantics needed to answer a query.
+///
+/// The engine is polyvariant: each predicate may have several
+/// (input pattern, output pattern) tuples. Memoization plus a dependency
+/// graph avoid redundant computation. The widening is applied in the two
+/// places Section 7.1 names:
+///   1. on procedure *results* (every memo-table update), and
+///   2. on procedure *calls*: a recursive descent that produces a new
+///      input pattern for a predicate already on the call stack widens
+///      it against the stacked pattern, bounding the set of input
+///      patterns along any recursion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_ENGINE_H
+#define GAIA_ENGINE_H
+
+#include "pat/PatSub.h"
+#include "prolog/Normalize.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace gaia {
+
+/// Engine behaviour knobs.
+struct EngineOptions {
+  /// If set, arithmetic comparisons (</2 etc.) refine both arguments to
+  /// Int. Off by default: comparison arguments are *expressions* (1+2 <
+  /// 4 succeeds), so the refinement is only sound for programs that
+  /// compare evaluated numbers — which the paper's system, having no
+  /// integer type at all, never assumed.
+  bool RefineArithComparisons = false;
+  /// Polyvariance cap. Section 9 observes that "the analyzer allocates
+  /// a new input pattern whenever needed, which can be very demanding"
+  /// and proposes "to limit the number of input patterns for each
+  /// procedure by collapsing them" — this implements that remedy: once
+  /// a predicate has this many memo entries, further input patterns are
+  /// widened against the most recent entry, turning the pattern stream
+  /// into a finite widening chain. 0 = unbounded (the paper's measured
+  /// configuration, pathological on PR/RE-style programs).
+  uint32_t MaxInputPatterns = 8;
+};
+
+/// Statistics matching Table 3's measurements.
+struct EngineStats {
+  /// Number of times a (predicate, input) entry was (re)analyzed.
+  uint64_t ProcedureIterations = 0;
+  /// Number of clause analyses.
+  uint64_t ClauseIterations = 0;
+  /// Number of memo-table entries created (polyvariance).
+  uint64_t InputPatterns = 0;
+  /// Wall-clock seconds inside solve().
+  double SolveSeconds = 0;
+};
+
+template <typename Leaf> class Engine {
+public:
+  using Sub = PatSub<Leaf>;
+  using Ctx = typename Leaf::Context;
+
+  /// One memo-table tuple (Bin, p, Bout).
+  struct Tuple {
+    FunctorId Pred = InvalidFunctor;
+    Sub In = Sub::bottom(0);
+    Sub Out = Sub::bottom(0);
+  };
+
+  Engine(const NProgram &Prog, const Ctx &C,
+         const EngineOptions &Opts = {})
+      : Prog(Prog), C(C), Opts(Opts) {
+    Trace = std::getenv("GAIA_TRACE") != nullptr;
+  }
+
+  /// Analyzes the query \p Pred with input pattern \p In (one slot per
+  /// argument) and returns the output pattern.
+  Sub solve(FunctorId Pred, const Sub &In);
+
+  const EngineStats &stats() const { return Stats; }
+
+  /// All memo-table tuples, for reporting and tag extraction.
+  std::vector<Tuple> tuples() const {
+    std::vector<Tuple> Result;
+    for (const auto &E : Entries)
+      Result.push_back(Tuple{E->Pred, E->In, E->Out});
+    return Result;
+  }
+
+private:
+  struct Entry {
+    FunctorId Pred = InvalidFunctor;
+    Sub In = Sub::bottom(0);
+    Sub Out = Sub::bottom(0);
+    uint64_t Version = 0;
+    bool Computed = false;
+    bool Dirty = true;
+    bool OnStack = false;
+    bool UsedRecursively = false;
+    std::vector<std::pair<Entry *, uint64_t>> Deps;
+    /// Entries whose last pass used this one (reverse of Deps).
+    std::vector<Entry *> Dependents;
+  };
+
+  Entry *solveCall(FunctorId Pred, Sub In, Entry *Caller);
+  void compute(Entry *E);
+  Sub analyzeClause(const NClause &Cl, const Sub &In, Entry *E);
+  void invalidateDependents(Entry *Changed);
+  Entry *findEntry(FunctorId Pred, const Sub &In);
+  void recordDep(Entry *From, Entry *To);
+
+  const NProgram &Prog;
+  Ctx C;
+  EngineOptions Opts;
+  bool Trace = false;
+  std::vector<std::unique_ptr<Entry>> Entries;
+  /// Per-predicate entry buckets (creation order preserved).
+  std::unordered_map<FunctorId, std::vector<Entry *>> ByPred;
+  std::vector<Entry *> Stack;
+  EngineStats Stats;
+};
+
+//===----------------------------------------------------------------------===//
+// Implementation (template).
+//===----------------------------------------------------------------------===//
+
+template <typename Leaf>
+typename Engine<Leaf>::Entry *Engine<Leaf>::findEntry(FunctorId Pred,
+                                                      const Sub &In) {
+  auto It = ByPred.find(Pred);
+  if (It == ByPred.end())
+    return nullptr;
+  for (Entry *E : It->second)
+    if (Sub::equal(C, E->In, In))
+      return E;
+  return nullptr;
+}
+
+template <typename Leaf>
+void Engine<Leaf>::recordDep(Entry *From, Entry *To) {
+  From->Deps.emplace_back(To, To->Version);
+  for (Entry *D : To->Dependents)
+    if (D == From)
+      return;
+  To->Dependents.push_back(From);
+}
+
+template <typename Leaf>
+typename Engine<Leaf>::Sub Engine<Leaf>::solve(FunctorId Pred,
+                                               const Sub &In) {
+  auto Start = std::chrono::steady_clock::now();
+  Entry *E = solveCall(Pred, In, nullptr);
+  // Iterate to a global fixpoint: recursive dependencies may have left
+  // dirty entries; recompute until the query entry is clean.
+  unsigned Rounds = 0;
+  while (E->Dirty && Rounds++ < 10000)
+    compute(E);
+  assert(Rounds < 10000 && "global fixpoint did not stabilize");
+  Stats.SolveSeconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Start)
+          .count();
+  return E->Out;
+}
+
+template <typename Leaf>
+typename Engine<Leaf>::Entry *
+Engine<Leaf>::solveCall(FunctorId Pred, Sub In, Entry *Caller) {
+  // Input widening against the innermost stacked pattern of the same
+  // predicate: bounds the input patterns produced along a recursion.
+  // A recursive call below the stacked pattern reuses it outright
+  // (sound by monotonicity); otherwise the call pattern is widened
+  // against it, so the chain of patterns along any recursion is a
+  // widening chain and therefore finite.
+  for (auto It = Stack.rbegin(), End = Stack.rend(); It != End; ++It) {
+    Entry *SE = *It;
+    if (SE->Pred != Pred)
+      continue;
+    if (Sub::leq(C, In, SE->In))
+      In = SE->In;
+    else
+      In = Sub::widen(C, SE->In, In);
+    break;
+  }
+
+  // Polyvariance cap: collapse further patterns into a widening chain
+  // anchored at the predicate's most recent entry.
+  if (Opts.MaxInputPatterns != 0) {
+    auto It = ByPred.find(Pred);
+    if (It != ByPred.end() && It->second.size() >= Opts.MaxInputPatterns) {
+      Entry *Last = It->second.back();
+      if (Sub::leq(C, In, Last->In))
+        In = Last->In;
+      else
+        In = Sub::widen(C, Last->In, In);
+    }
+  }
+
+  Entry *E = findEntry(Pred, In);
+  if (!E) {
+    Entries.push_back(std::make_unique<Entry>());
+    E = Entries.back().get();
+    E->Pred = Pred;
+    E->In = std::move(In);
+    E->Out = Sub::bottom(E->In.numSlots());
+    ByPred[Pred].push_back(E);
+    ++Stats.InputPatterns;
+    if (Trace)
+      std::fprintf(stderr, "[gaia] new input pattern for %s (from %s):\n%s",
+                   C.Syms.functorString(Pred).c_str(),
+                   Caller ? C.Syms.functorString(Caller->Pred).c_str()
+                          : "<query>",
+                   E->In.print(C).c_str());
+  }
+
+  if (Caller)
+    recordDep(Caller, E);
+
+  if (E->OnStack) {
+    E->UsedRecursively = true;
+    return E; // current approximation
+  }
+  if (E->Computed && !E->Dirty)
+    return E;
+  compute(E);
+  return E;
+}
+
+template <typename Leaf> void Engine<Leaf>::compute(Entry *E) {
+  const NProcedure *Proc = Prog.find(E->Pred);
+  assert(Proc && "solveCall must only be used for defined predicates");
+  E->OnStack = true;
+  Stack.push_back(E);
+
+  unsigned LocalRounds = 0;
+  while (true) {
+    E->Dirty = false;
+    E->UsedRecursively = false;
+    E->Deps.clear();
+    ++Stats.ProcedureIterations;
+    ++LocalRounds;
+    if (Trace)
+      std::fprintf(stderr,
+                   "[gaia] pass %llu: %s (entry v%llu, round %u, "
+                   "stack %zu, entries %zu)\n",
+                   static_cast<unsigned long long>(
+                       Stats.ProcedureIterations),
+                   C.Syms.functorString(E->Pred).c_str(),
+                   static_cast<unsigned long long>(E->Version),
+                   LocalRounds, Stack.size(), Entries.size());
+
+    Sub NewOut = Sub::bottom(E->In.numSlots());
+    for (const NClause &Cl : Proc->Clauses) {
+      ++Stats.ClauseIterations;
+      Sub ClauseOut = analyzeClause(Cl, E->In, E);
+      if (!ClauseOut.isBottom())
+        NewOut = Sub::join(C, NewOut, ClauseOut);
+    }
+
+    Sub Widened = Sub::widen(C, E->Out, NewOut);
+    bool Changed = !Sub::leq(C, Widened, E->Out);
+    if (Changed) {
+      E->Out = std::move(Widened);
+      ++E->Version;
+      invalidateDependents(E);
+    }
+    // Repeat while this entry participates in recursion and its result
+    // is still in flux, or a callee's change invalidated this pass.
+    bool Again = (Changed && E->UsedRecursively) || E->Dirty;
+    if (!Again)
+      break;
+    assert(LocalRounds < 10000 && "local fixpoint did not stabilize");
+  }
+
+  Stack.pop_back();
+  E->OnStack = false;
+  E->Computed = true;
+}
+
+template <typename Leaf>
+typename Engine<Leaf>::Sub
+Engine<Leaf>::analyzeClause(const NClause &Cl, const Sub &In, Entry *E) {
+  Sub B = Sub::extendForClause(C, In, Cl.NumVars);
+  for (const NOp &Op : Cl.Ops) {
+    if (B.isBottom())
+      break;
+    switch (Op.K) {
+    case NOp::Kind::UnifyVar:
+      B.unifyVars(C, Op.A, Op.B);
+      break;
+    case NOp::Kind::UnifyFunc:
+      B.unifyFunc(C, Op.A, Op.Fn, Op.Args);
+      break;
+    case NOp::Kind::Call: {
+      Sub CallIn = B.project(C, Op.Args);
+      Entry *Callee = solveCall(Op.Fn, std::move(CallIn), E);
+      B.applyCallResult(C, Op.Args, Callee->Out);
+      break;
+    }
+    case NOp::Kind::Builtin:
+      switch (Op.BK) {
+      case BuiltinKind::Fail:
+        B = Sub::bottom(B.numSlots());
+        break;
+      case BuiltinKind::Is:
+        B.refineSlot(C, Op.Args[0], Leaf::intValue(C));
+        break;
+      case BuiltinKind::ArithTest:
+        if (Opts.RefineArithComparisons) {
+          B.refineSlot(C, Op.Args[0], Leaf::intValue(C));
+          if (!B.isBottom())
+            B.refineSlot(C, Op.Args[1], Leaf::intValue(C));
+        }
+        break;
+      case BuiltinKind::TypeInt:
+        B.refineSlot(C, Op.Args[0], Leaf::intValue(C));
+        break;
+      case BuiltinKind::Length:
+        B.refineSlot(C, Op.Args[0], Leaf::listValue(C));
+        if (!B.isBottom())
+          B.refineSlot(C, Op.Args[1], Leaf::intValue(C));
+        break;
+      case BuiltinKind::Arg:
+        B.refineSlot(C, Op.Args[0], Leaf::intValue(C));
+        break;
+      case BuiltinKind::True:
+      case BuiltinKind::TypeTest:
+      case BuiltinKind::NotEq:
+      case BuiltinKind::Opaque:
+      case BuiltinKind::Unify:
+      case BuiltinKind::TermEq:
+      case BuiltinKind::None:
+        break; // no refinement (sound)
+      }
+      break;
+    }
+  }
+  if (B.isBottom())
+    return Sub::bottom(Cl.Arity);
+  // Project the clause state onto the head arguments.
+  std::vector<uint32_t> HeadSlots(Cl.Arity);
+  for (uint32_t I = 0; I != Cl.Arity; ++I)
+    HeadSlots[I] = I;
+  return B.project(C, HeadSlots);
+}
+
+template <typename Leaf>
+void Engine<Leaf>::invalidateDependents(Entry *Changed) {
+  // Mark (transitively) every entry that used Changed. Transitive
+  // dependents must be marked even though the intermediate entry's
+  // version has not been bumped yet: recomputing it may change it, so
+  // anything built on it is suspect.
+  std::vector<Entry *> Work{Changed};
+  while (!Work.empty()) {
+    Entry *X = Work.back();
+    Work.pop_back();
+    for (Entry *F : X->Dependents) {
+      if (F->Dirty || F == X)
+        continue;
+      F->Dirty = true;
+      Work.push_back(F);
+    }
+  }
+}
+
+} // namespace gaia
+
+#endif // GAIA_ENGINE_H

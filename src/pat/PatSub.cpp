@@ -1,0 +1,13 @@
+//===- pat/PatSub.cpp - Explicit instantiations -----------------------------=//
+
+#include "pat/PatSub.h"
+
+#include "domains/PFLeaf.h"
+#include "domains/TypeLeaf.h"
+
+namespace gaia {
+
+template class PatSub<TypeLeaf>;
+template class PatSub<PFLeaf>;
+
+} // namespace gaia

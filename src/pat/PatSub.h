@@ -1,0 +1,604 @@
+//===- pat/PatSub.h - The generic pattern domain Pat(R) -------------------==//
+///
+/// \file
+/// The generic pattern domain of Cortesi, Le Charlier & Van Hentenryck
+/// (POPL'94) as used in Section 5 of the paper. An abstract substitution
+/// over n "slots" (clause variables or call arguments) consists of:
+///
+///   - a *same-value* component: each slot maps to a subterm index, and
+///     two slots mapping to the same index are known to be equal;
+///   - a *pattern* component: a subterm index may carry a frame
+///     f(i1, ..., ik) naming its principal functor and the indices of
+///     its arguments;
+///   - an *R-component*: frameless (leaf) indices carry a value of the
+///     generic leaf domain (type graphs for Pat(Type), the one-point
+///     domain for the principal-functor baseline).
+///
+/// All operations the GAIA engine needs are provided: abstract
+/// unification, projection (RESTRG), clause extension, call-result
+/// integration (EXTG/EXTC), upper bound, widening, and ordering. The
+/// interaction rule of Section 5 is implemented in joinOrWiden: when the
+/// same subterm is bound to different functors in the two inputs, the
+/// indices below are removed from Pat and replaced by an equivalent
+/// value in the leaf domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PAT_PATSUB_H
+#define GAIA_PAT_PATSUB_H
+
+#include "prolog/Builtins.h"
+#include "support/Debug.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+template <typename Leaf> class PatSub {
+public:
+  using Value = typename Leaf::Value;
+  using Ctx = typename Leaf::Context;
+
+  /// The substitution with \p NumSlots unconstrained slots.
+  static PatSub top(const Ctx &C, uint32_t NumSlots) {
+    PatSub S;
+    S.Slots.reserve(NumSlots);
+    for (uint32_t I = 0; I != NumSlots; ++I)
+      S.Slots.push_back(S.newLeaf(Leaf::any(C)));
+    return S;
+  }
+
+  /// The failed substitution.
+  static PatSub bottom(uint32_t NumSlots) {
+    PatSub S;
+    S.IsBottom = true;
+    S.Slots.assign(NumSlots, 0);
+    return S;
+  }
+
+  bool isBottom() const { return IsBottom; }
+  uint32_t numSlots() const { return static_cast<uint32_t>(Slots.size()); }
+
+  //===--------------------------------------------------------------------//
+  // Abstract unification.
+  //===--------------------------------------------------------------------//
+
+  /// Xa = Xb.
+  void unifyVars(const Ctx &C, uint32_t SlotA, uint32_t SlotB) {
+    if (IsBottom)
+      return;
+    unifyIndices(C, find(Slots[SlotA]), find(Slots[SlotB]));
+  }
+
+  /// Xa = f(Xb1, ..., Xbk).
+  void unifyFunc(const Ctx &C, uint32_t SlotA, FunctorId Fn,
+                 const std::vector<uint32_t> &ArgSlots) {
+    if (IsBottom)
+      return;
+    std::vector<uint32_t> ArgIdx;
+    ArgIdx.reserve(ArgSlots.size());
+    for (uint32_t S : ArgSlots)
+      ArgIdx.push_back(find(Slots[S]));
+    imposeFrame(C, find(Slots[SlotA]), Fn, ArgIdx);
+  }
+
+  /// Refines slot \p Slot with leaf value \p V (e.g. Int for is/2).
+  void refineSlot(const Ctx &C, uint32_t Slot, const Value &V) {
+    if (IsBottom)
+      return;
+    refineWithValue(C, find(Slots[Slot]), V);
+  }
+
+  //===--------------------------------------------------------------------//
+  // Projection and extension (RESTRG / EXTG / EXTC of the framework).
+  //===--------------------------------------------------------------------//
+
+  /// Projects onto \p OutSlots: the result has one slot per entry,
+  /// preserving frames, same-value information and leaf values.
+  PatSub project(const Ctx &, const std::vector<uint32_t> &OutSlots) const {
+    if (IsBottom)
+      return bottom(static_cast<uint32_t>(OutSlots.size()));
+    PatSub R;
+    std::map<uint32_t, uint32_t> Remap; // my index -> new index
+    for (uint32_t S : OutSlots)
+      R.Slots.push_back(copyInto(R, find(Slots[S]), Remap));
+    return R;
+  }
+
+  /// Entry to a clause with \p NumVars variables whose first slots are
+  /// the head arguments described by \p CallPat.
+  static PatSub extendForClause(const Ctx &C, const PatSub &CallPat,
+                                uint32_t NumVars) {
+    assert(NumVars >= CallPat.numSlots() && "clause has fewer vars than "
+                                            "head arguments");
+    if (CallPat.IsBottom)
+      return bottom(NumVars);
+    PatSub R;
+    std::map<uint32_t, uint32_t> Remap;
+    for (uint32_t S = 0; S != CallPat.numSlots(); ++S)
+      R.Slots.push_back(CallPat.copyInto(R, CallPat.find(CallPat.Slots[S]),
+                                         Remap));
+    for (uint32_t V = CallPat.numSlots(); V != NumVars; ++V)
+      R.Slots.push_back(R.newLeaf(Leaf::any(C)));
+    return R;
+  }
+
+  /// Integrates the callee's output pattern \p Out for a call whose
+  /// arguments were \p ArgSlots (EXTC): caller subterms are refined with
+  /// the callee's frames, leaf values, and same-value equalities.
+  void applyCallResult(const Ctx &C, const std::vector<uint32_t> &ArgSlots,
+                       const PatSub &Out) {
+    if (IsBottom)
+      return;
+    if (Out.IsBottom) {
+      markBottom();
+      return;
+    }
+    assert(ArgSlots.size() == Out.numSlots() && "call arity mismatch");
+    std::map<uint32_t, uint32_t> Memo; // out index -> my index
+    for (size_t R = 0; R != ArgSlots.size(); ++R) {
+      applyPair(C, find(Slots[ArgSlots[R]]), Out,
+                Out.find(Out.Slots[R]), Memo);
+      if (IsBottom)
+        return;
+    }
+  }
+
+  //===--------------------------------------------------------------------//
+  // Lattice operations.
+  //===--------------------------------------------------------------------//
+
+  /// Least upper bound (the UNION operation of GAIA).
+  static PatSub join(const Ctx &C, const PatSub &A, const PatSub &B) {
+    return joinOrWiden(C, A, B, /*Widen=*/false);
+  }
+
+  /// Widening (the WIDEN operation): the upper bound on Pat with the
+  /// leaf upper bound replaced by the leaf widening, old value first.
+  static PatSub widen(const Ctx &C, const PatSub &Old, const PatSub &New) {
+    return joinOrWiden(C, Old, New, /*Widen=*/true);
+  }
+
+  /// Ordering: true if A's concretization is included in B's. May
+  /// conservatively return false when A carries a leaf where B carries a
+  /// frame.
+  static bool leq(const Ctx &C, const PatSub &A, const PatSub &B) {
+    if (A.IsBottom)
+      return true;
+    if (B.IsBottom)
+      return false;
+    assert(A.numSlots() == B.numSlots() && "slot count mismatch");
+    std::map<uint32_t, uint32_t> BToA;
+    for (uint32_t S = 0; S != A.numSlots(); ++S)
+      if (!leqPair(C, A, A.find(A.Slots[S]), B, B.find(B.Slots[S]), BToA))
+        return false;
+    return true;
+  }
+
+  static bool equal(const Ctx &C, const PatSub &A, const PatSub &B) {
+    return leq(C, A, B) && leq(C, B, A);
+  }
+
+  //===--------------------------------------------------------------------//
+  // Inspection.
+  //===--------------------------------------------------------------------//
+
+  /// The leaf-domain value describing slot \p Slot's whole subterm
+  /// (frames are folded back via Leaf::construct).
+  Value slotValue(const Ctx &C, uint32_t Slot) const {
+    if (IsBottom)
+      return Leaf::bottom(C);
+    std::map<uint32_t, Value> Memo;
+    std::vector<uint32_t> Path;
+    return termValue(C, find(Slots[Slot]), Memo, Path);
+  }
+
+  /// Frame of slot \p Slot, if any: the principal functor.
+  std::optional<FunctorId> slotFrame(uint32_t Slot) const {
+    if (IsBottom)
+      return std::nullopt;
+    const Sub &S = Subs[find(Slots[Slot])];
+    if (!S.HasFrame)
+      return std::nullopt;
+    return S.Fn;
+  }
+
+  /// True if slots \p A and \p B are known equal.
+  bool sameValue(uint32_t A, uint32_t B) const {
+    return !IsBottom && find(Slots[A]) == find(Slots[B]);
+  }
+
+  /// Renders the substitution for diagnostics: one line per slot.
+  std::string print(const Ctx &C) const;
+
+private:
+  /// One subterm.
+  struct Sub {
+    bool HasFrame = false;
+    FunctorId Fn = InvalidFunctor;
+    std::vector<uint32_t> FrameArgs;
+    Value Prop; ///< valid iff !HasFrame
+  };
+
+  uint32_t newLeaf(Value V) {
+    Sub S;
+    S.Prop = std::move(V);
+    Subs.push_back(std::move(S));
+    Parent.push_back(static_cast<uint32_t>(Subs.size() - 1));
+    return static_cast<uint32_t>(Subs.size() - 1);
+  }
+
+  uint32_t newFrame(FunctorId Fn, std::vector<uint32_t> Args) {
+    Sub S;
+    S.HasFrame = true;
+    S.Fn = Fn;
+    S.FrameArgs = std::move(Args);
+    Subs.push_back(std::move(S));
+    Parent.push_back(static_cast<uint32_t>(Subs.size() - 1));
+    return static_cast<uint32_t>(Subs.size() - 1);
+  }
+
+  uint32_t find(uint32_t I) const {
+    while (Parent[I] != I)
+      I = Parent[I];
+    return I;
+  }
+
+  void markBottom() {
+    IsBottom = true;
+    Subs.clear();
+    Parent.clear();
+    for (uint32_t &S : Slots)
+      S = 0;
+  }
+
+  /// Merges index \p J into \p I (both representatives).
+  void link(uint32_t I, uint32_t J) {
+    if (I != J)
+      Parent[J] = I;
+  }
+
+  /// Abstract unification of two subterm indices.
+  void unifyIndices(const Ctx &C, uint32_t I, uint32_t J) {
+    I = find(I);
+    J = find(J);
+    if (I == J || IsBottom)
+      return;
+    Sub &SI = Subs[I];
+    Sub &SJ = Subs[J];
+    if (SI.HasFrame && SJ.HasFrame) {
+      if (SI.Fn != SJ.Fn) {
+        markBottom();
+        return;
+      }
+      std::vector<uint32_t> ArgsI = SI.FrameArgs;
+      std::vector<uint32_t> ArgsJ = SJ.FrameArgs;
+      link(I, J);
+      for (size_t K = 0; K != ArgsI.size(); ++K) {
+        unifyIndices(C, ArgsI[K], ArgsJ[K]);
+        if (IsBottom)
+          return;
+      }
+      return;
+    }
+    if (SI.HasFrame && !SJ.HasFrame) {
+      // Push J's leaf value through I's frame.
+      Value V = SJ.Prop;
+      link(I, J);
+      refineWithValue(C, I, V);
+      return;
+    }
+    if (!SI.HasFrame && SJ.HasFrame) {
+      Value V = SI.Prop;
+      link(J, I);
+      refineWithValue(C, J, V);
+      return;
+    }
+    // Both leaves.
+    Value M = Leaf::meet(C, SI.Prop, SJ.Prop);
+    if (Leaf::isBottom(C, M)) {
+      markBottom();
+      return;
+    }
+    SI.Prop = std::move(M);
+    link(I, J);
+  }
+
+  /// Ensures index \p I has frame \p Fn with argument indices \p ArgIdx.
+  void imposeFrame(const Ctx &C, uint32_t I, FunctorId Fn,
+                   const std::vector<uint32_t> &ArgIdx) {
+    I = find(I);
+    Sub &SI = Subs[I];
+    if (SI.HasFrame) {
+      if (SI.Fn != Fn) {
+        markBottom();
+        return;
+      }
+      std::vector<uint32_t> Args = SI.FrameArgs;
+      for (size_t K = 0; K != Args.size(); ++K) {
+        unifyIndices(C, Args[K], ArgIdx[K]);
+        if (IsBottom)
+          return;
+      }
+      return;
+    }
+    // Leaf: split its value at Fn and refine the argument subterms.
+    std::vector<Value> ArgVals;
+    if (!Leaf::restrictTo(C, SI.Prop, Fn, ArgVals)) {
+      markBottom();
+      return;
+    }
+    SI.HasFrame = true;
+    SI.Fn = Fn;
+    SI.FrameArgs = ArgIdx;
+    SI.Prop = Value();
+    assert(ArgVals.size() == ArgIdx.size() && "restrictTo arity mismatch");
+    for (size_t K = 0; K != ArgIdx.size(); ++K) {
+      refineWithValue(C, ArgIdx[K], ArgVals[K]);
+      if (IsBottom)
+        return;
+    }
+  }
+
+  /// Intersects subterm \p I with leaf value \p V, pushing through
+  /// frames. Frames are normally acyclic, but rational structures can
+  /// arise from unifications like X = f(Y), X = Y; the depth budget cuts
+  /// the recursion there (skipping a refinement is sound — it only loses
+  /// precision).
+  void refineWithValue(const Ctx &C, uint32_t I, const Value &V,
+                       unsigned Depth = 0) {
+    constexpr unsigned MaxRefineDepth = 64;
+    if (Depth > MaxRefineDepth)
+      return;
+    I = find(I);
+    Sub &SI = Subs[I];
+    if (!SI.HasFrame) {
+      Value M = Leaf::meet(C, SI.Prop, V);
+      if (Leaf::isBottom(C, M)) {
+        markBottom();
+        return;
+      }
+      SI.Prop = std::move(M);
+      return;
+    }
+    std::vector<Value> ArgVals;
+    if (!Leaf::restrictTo(C, V, SI.Fn, ArgVals)) {
+      markBottom();
+      return;
+    }
+    std::vector<uint32_t> Args = SI.FrameArgs;
+    for (size_t K = 0; K != Args.size(); ++K) {
+      refineWithValue(C, Args[K], ArgVals[K], Depth + 1);
+      if (IsBottom)
+        return;
+    }
+  }
+
+  /// Copies the subterm \p I into \p R, preserving sharing via \p Remap.
+  uint32_t copyInto(PatSub &R, uint32_t I,
+                    std::map<uint32_t, uint32_t> &Remap) const {
+    I = find(I);
+    auto It = Remap.find(I);
+    if (It != Remap.end())
+      return It->second;
+    const Sub &S = Subs[I];
+    if (!S.HasFrame) {
+      uint32_t N = R.newLeaf(S.Prop);
+      Remap.emplace(I, N);
+      return N;
+    }
+    uint32_t N = R.newFrame(S.Fn, {});
+    Remap.emplace(I, N);
+    std::vector<uint32_t> Args;
+    Args.reserve(S.FrameArgs.size());
+    for (uint32_t A : S.FrameArgs)
+      Args.push_back(copyInto(R, A, Remap));
+    R.Subs[N].FrameArgs = std::move(Args);
+    return N;
+  }
+
+  /// Folds a subterm back into a single leaf value. Rational cycles
+  /// (possible after unifications like X = f(Y), X = Y) are cut with Any.
+  Value termValue(const Ctx &C, uint32_t I, std::map<uint32_t, Value> &Memo,
+                  std::vector<uint32_t> &Path) const {
+    I = find(I);
+    auto It = Memo.find(I);
+    if (It != Memo.end())
+      return It->second;
+    const Sub &S = Subs[I];
+    if (!S.HasFrame) {
+      Memo.emplace(I, S.Prop);
+      return S.Prop;
+    }
+    for (uint32_t P : Path)
+      if (P == I)
+        return Leaf::any(C); // rational cycle: over-approximate
+    Path.push_back(I);
+    std::vector<Value> Args;
+    Args.reserve(S.FrameArgs.size());
+    for (uint32_t A : S.FrameArgs)
+      Args.push_back(termValue(C, A, Memo, Path));
+    Path.pop_back();
+    Value V = Leaf::construct(C, S.Fn, Args);
+    Memo.emplace(I, V);
+    return V;
+  }
+
+  /// EXTC helper: imposes the callee subterm (\p Out, \p J) onto the
+  /// caller subterm \p I. \p Memo carries out-index -> caller-index so
+  /// the callee's same-value equalities transfer to the caller.
+  void applyPair(const Ctx &C, uint32_t I, const PatSub &Out, uint32_t J,
+                 std::map<uint32_t, uint32_t> &Memo) {
+    if (IsBottom)
+      return;
+    I = find(I);
+    J = Out.find(J);
+    auto It = Memo.find(J);
+    if (It != Memo.end()) {
+      // The callee says this subterm equals a previously seen one.
+      unifyIndices(C, I, It->second);
+      return;
+    }
+    Memo.emplace(J, I);
+    const Sub &SJ = Out.Subs[J];
+    if (!SJ.HasFrame) {
+      refineWithValue(C, I, SJ.Prop);
+      return;
+    }
+    // Callee knows the frame. Ensure the caller has it too.
+    uint32_t Irep = find(I);
+    if (!Subs[Irep].HasFrame) {
+      std::vector<Value> ArgVals;
+      if (!Leaf::restrictTo(C, Subs[Irep].Prop, SJ.Fn, ArgVals)) {
+        markBottom();
+        return;
+      }
+      std::vector<uint32_t> FreshArgs;
+      FreshArgs.reserve(ArgVals.size());
+      for (Value &V : ArgVals)
+        FreshArgs.push_back(newLeaf(std::move(V)));
+      Sub &SI = Subs[Irep];
+      SI.HasFrame = true;
+      SI.Fn = SJ.Fn;
+      SI.FrameArgs = std::move(FreshArgs);
+      SI.Prop = Value();
+    } else if (Subs[Irep].Fn != SJ.Fn) {
+      markBottom();
+      return;
+    }
+    std::vector<uint32_t> MyArgs = Subs[Irep].FrameArgs;
+    std::vector<uint32_t> OutArgs = SJ.FrameArgs;
+    for (size_t K = 0; K != MyArgs.size(); ++K) {
+      applyPair(C, MyArgs[K], Out, OutArgs[K], Memo);
+      if (IsBottom)
+        return;
+    }
+  }
+
+  /// Shared implementation of join and widen.
+  static PatSub joinOrWiden(const Ctx &C, const PatSub &A, const PatSub &B,
+                            bool Widen) {
+    if (A.IsBottom)
+      return B;
+    if (B.IsBottom)
+      return A;
+    assert(A.numSlots() == B.numSlots() && "slot count mismatch");
+    PatSub R;
+    std::map<std::pair<uint32_t, uint32_t>, uint32_t> Memo;
+    for (uint32_t S = 0; S != A.numSlots(); ++S)
+      R.Slots.push_back(combine(C, A, A.find(A.Slots[S]), B,
+                                B.find(B.Slots[S]), R, Memo, Widen));
+    return R;
+  }
+
+  static uint32_t combine(const Ctx &C, const PatSub &A, uint32_t IA,
+                          const PatSub &B, uint32_t IB, PatSub &R,
+                          std::map<std::pair<uint32_t, uint32_t>, uint32_t>
+                              &Memo,
+                          bool Widen) {
+    IA = A.find(IA);
+    IB = B.find(IB);
+    auto Key = std::make_pair(IA, IB);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+    const Sub &SA = A.Subs[IA];
+    const Sub &SB = B.Subs[IB];
+    if (SA.HasFrame && SB.HasFrame && SA.Fn == SB.Fn) {
+      uint32_t N = R.newFrame(SA.Fn, {});
+      Memo.emplace(Key, N);
+      std::vector<uint32_t> Args;
+      Args.reserve(SA.FrameArgs.size());
+      for (size_t K = 0; K != SA.FrameArgs.size(); ++K)
+        Args.push_back(combine(C, A, SA.FrameArgs[K], B, SB.FrameArgs[K],
+                               R, Memo, Widen));
+      R.Subs[N].FrameArgs = std::move(Args);
+      return N;
+    }
+    // Frames disagree (or a leaf is involved): drop to the leaf domain.
+    // This is exactly the Pat/Type interaction of Section 5: the indices
+    // in the subtrees are replaced by an equivalent type graph.
+    std::map<uint32_t, Value> MemoA, MemoB;
+    std::vector<uint32_t> PathA, PathB;
+    Value VA = A.termValue(C, IA, MemoA, PathA);
+    Value VB = B.termValue(C, IB, MemoB, PathB);
+    Value V = Widen ? Leaf::widen(C, VA, VB) : Leaf::join(C, VA, VB);
+    uint32_t N = R.newLeaf(std::move(V));
+    Memo.emplace(Key, N);
+    return N;
+  }
+
+  static bool leqPair(const Ctx &C, const PatSub &A, uint32_t IA,
+                      const PatSub &B, uint32_t IB,
+                      std::map<uint32_t, uint32_t> &BToA) {
+    IA = A.find(IA);
+    IB = B.find(IB);
+    auto It = BToA.find(IB);
+    if (It != BToA.end())
+      return It->second == IA; // B's same-value must hold in A
+    BToA.emplace(IB, IA);
+    const Sub &SB = B.Subs[IB];
+    const Sub &SA = A.Subs[IA];
+    if (!SB.HasFrame) {
+      std::map<uint32_t, Value> Memo;
+      std::vector<uint32_t> Path;
+      Value VA = A.termValue(C, IA, Memo, Path);
+      return Leaf::includes(C, SB.Prop, VA);
+    }
+    if (!SA.HasFrame)
+      return false; // conservative: A lacks structure B asserts
+    if (SA.Fn != SB.Fn)
+      return false;
+    for (size_t K = 0; K != SA.FrameArgs.size(); ++K)
+      if (!leqPair(C, A, SA.FrameArgs[K], B, SB.FrameArgs[K], BToA))
+        return false;
+    return true;
+  }
+
+  std::string printIndex(const Ctx &C, uint32_t I, unsigned Depth) const {
+    I = find(I);
+    const Sub &S = Subs[I];
+    if (!S.HasFrame)
+      return "#" + std::to_string(I) + ":" + Leaf::print(C, S.Prop);
+    if (Depth > 4)
+      return "#" + std::to_string(I) + ":...";
+    std::string Out = "#" + std::to_string(I) + ":" +
+                      C.Syms.functorName(S.Fn);
+    if (!S.FrameArgs.empty()) {
+      Out += "(";
+      for (size_t K = 0; K != S.FrameArgs.size(); ++K) {
+        if (K)
+          Out += ",";
+        Out += printIndex(C, S.FrameArgs[K], Depth + 1);
+      }
+      Out += ")";
+    }
+    return Out;
+  }
+
+  bool IsBottom = false;
+  std::vector<uint32_t> Slots;
+  std::vector<Sub> Subs;
+  std::vector<uint32_t> Parent;
+};
+
+template <typename Leaf>
+std::string PatSub<Leaf>::print(const Ctx &C) const {
+  if (IsBottom)
+    return "<bottom>\n";
+  std::string Out;
+  for (uint32_t S = 0; S != numSlots(); ++S) {
+    Out += "X" + std::to_string(S) + " = " +
+           printIndex(C, Slots[S], 0) + "\n";
+  }
+  return Out;
+}
+
+} // namespace gaia
+
+#endif // GAIA_PAT_PATSUB_H

@@ -1,0 +1,342 @@
+//===- programs/Benchmarks.cpp ------------------------------------------------=//
+
+#include "programs/Benchmarks.h"
+
+using namespace gaia;
+
+//===----------------------------------------------------------------------===//
+// Section 2 illustration examples (verbatim from the paper).
+//===----------------------------------------------------------------------===//
+
+static const char *SrcNreverse = R"PL(
+% Naive reverse (Section 2).
+nreverse([], []).
+nreverse([F|T], Res) :- nreverse(T, Trev), append(Trev, [F], Res).
+
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+)PL";
+
+static const char *SrcProcess = R"PL(
+% Abstraction of a procedure used in the parser of Prolog (Section 2):
+% a sophisticated form of accumulator.
+process(X, Y) :- process(X, 0, Y).
+
+process([], X, X).
+process([c(X1)|Y], Acc, X) :- process(Y, c(X1,Acc), X).
+process([d(X1)|Y], Acc, X) :- process(Y, d(X1,Acc), X).
+)PL";
+
+static const char *SrcProcessMutual = R"PL(
+% The process example with two mutually recursive procedures
+% (Section 2).
+process(X, Y) :- process(X, 0, Y).
+
+process([], X, X).
+process([c(X1)|Y], Acc, X) :- other_process(Y, c(X1,Acc), X).
+
+other_process([d(X1)|Y], Acc, X) :- process(Y, d(X1,Acc), X).
+)PL";
+
+static const char *SrcNested = R"PL(
+% Figure 1: a Prolog program manipulating nested lists.
+llist([]).
+llist([F|T]) :- list(F), llist(T).
+
+list([]).
+list([F|T]) :- p(F), list(T).
+
+p(a).
+p(b).
+
+reverse(X, Y) :- reverse(X, [], Y).
+
+reverse([], X, X).
+reverse([F|T], Acc, Res) :- reverse(T, [F|Acc], Res).
+
+get(Res) :- llist(X), reverse(X, Res).
+)PL";
+
+static const char *SrcGen = R"PL(
+% The gen/succ program (Section 2): lists and integers grow together,
+% so the widening must infer both recursive structures simultaneously.
+succ([], []).
+succ([X|Xs], [s(X)|R]) :- succ(Xs, R).
+
+gen([]).
+gen([0|L]) :- gen(X), succ(X, L).
+)PL";
+
+static const char *SrcTokenizer = R"PL(
+% A compact tokenizer in the style of the Prolog tokenizer discussed in
+% Section 2: the result type must keep punctuation atoms, atom/integer/
+% string/var tokens, and the nested string type apart.
+tokenize([], []).
+tokenize([C|Cs], Ts) :- white(C), tokenize(Cs, Ts).
+tokenize([C|Cs], [T|Ts]) :- punct(C, T), tokenize(Cs, Ts).
+tokenize([C|Cs], [atom(Name)|Ts]) :-
+    lower(C), grab_word(Cs, Word, Rest), name(Name, [C|Word]),
+    tokenize(Rest, Ts).
+tokenize([C|Cs], [var(Name, [C|Word])|Ts]) :-
+    upper(C), grab_word(Cs, Word, Rest), name(Name, [C|Word]),
+    tokenize(Rest, Ts).
+tokenize([C|Cs], [integer(N)|Ts]) :-
+    digit(C), grab_digits(Cs, Ds, Rest), name(N, [C|Ds]),
+    tokenize(Rest, Ts).
+tokenize([34|Cs], [string(S)|Ts]) :-
+    grab_string(Cs, S, Rest), tokenize(Rest, Ts).
+
+punct(40, '(').
+punct(41, ')').
+punct(44, ',').
+punct(91, '[').
+punct(93, ']').
+punct(123, '{').
+punct(125, '}').
+punct(124, '|').
+
+white(32).
+white(10).
+white(9).
+
+lower(C) :- C >= 97, C =< 122.
+upper(C) :- C >= 65, C =< 90.
+digit(C) :- C >= 48, C =< 57.
+
+alpha(C) :- lower(C).
+alpha(C) :- upper(C).
+alpha(C) :- digit(C).
+alpha(95).
+
+grab_word([C|Cs], [C|W], Rest) :- alpha(C), grab_word(Cs, W, Rest).
+grab_word(Cs, [], Cs).
+
+grab_digits([C|Cs], [C|Ds], Rest) :- digit(C), grab_digits(Cs, Ds, Rest).
+grab_digits(Cs, [], Cs).
+
+grab_string([34|Cs], [], Cs).
+grab_string([C|Cs], [C|S], Rest) :- grab_string(Cs, S, Rest).
+)PL";
+
+static const char *SrcQsort = R"PL(
+% Figure 4: the quicksort program with an accumulator (difference-list
+% style), the paper's example of precision loss.
+qsort(X1, X2) :- qsort(X1, X2, []).
+
+qsort([], L, L).
+qsort([F|T], O, A) :-
+    partition(T, F, Small, Big),
+    qsort(Small, O, [F|Ot]),
+    qsort(Big, Ot, A).
+
+partition([], _, [], []).
+partition([X|Xs], P, [X|Ss], Bs) :- X =< P, partition(Xs, P, Ss, Bs).
+partition([X|Xs], P, Ss, [X|Bs]) :- X > P, partition(Xs, P, Ss, Bs).
+)PL";
+
+static const char *SrcQsortSwapped = R"PL(
+% Figure 4 with the two recursive calls switched: the accumulator is
+% instantiated before the first recursive call, recovering the list
+% type for both arguments.
+qsort(X1, X2) :- qsort(X1, X2, []).
+
+qsort([], L, L).
+qsort([F|T], O, A) :-
+    partition(T, F, Small, Big),
+    qsort(Big, Ot, A),
+    qsort(Small, O, [F|Ot]).
+
+partition([], _, [], []).
+partition([X|Xs], P, [X|Ss], Bs) :- X =< P, partition(Xs, P, Ss, Bs).
+partition([X|Xs], P, Ss, [X|Bs]) :- X > P, partition(Xs, P, Ss, Bs).
+)PL";
+
+static const char *SrcInsert = R"PL(
+% The binary-tree insertion program from the introduction.
+insert(E, void, tree(void,E,void)).
+insert(E, tree(L,V,R), tree(Ln,V,R)) :- E < V, insert(E, L, Ln).
+insert(E, tree(L,V,R), tree(L,V,Rn)) :- E > V, insert(E, R, Rn).
+)PL";
+
+//===----------------------------------------------------------------------===//
+// The arithmetic programs of Figures 2 and 3 (verbatim plus append).
+//===----------------------------------------------------------------------===//
+
+static const char *SrcAR = R"PL(
+% Figure 2: a Prolog program manipulating arithmetic expressions.
+add(0, []).
+add(X + Y, Res) :- add(X, Res1), mult(Y, Res2), append(Res1, Res2, Res).
+
+mult(1, []).
+mult(X * Y, Res) :- mult(X, Res1), basic(Y, Res2), append(Res1, Res2, Res).
+
+basic(var(X), [X]).
+basic(cst(C), []).
+basic(par(X), Res) :- add(X, Res).
+
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+)PL";
+
+static const char *SrcAR1 = R"PL(
+% Figure 3: another program on arithmetic expressions; requires the
+% widening to postpone its decision until the type structure is clear.
+add(X, Res) :- mult(X, Res).
+add(X + Y, Res) :- add(X, R1), mult(Y, R2), append(R1, R2, Res).
+
+mult(X, Res) :- basic(X, Res).
+mult(X * Y, Res) :- mult(X, R1), basic(Y, R2), append(R1, R2, Res).
+
+basic(var(X), [X]).
+basic(cst(X), []).
+basic(par(X), Res) :- add(X, Res).
+
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+)PL";
+
+//===----------------------------------------------------------------------===//
+// The ten medium-sized benchmarks (reconstructions; see DESIGN.md).
+//===----------------------------------------------------------------------===//
+
+static const char *SrcQU =
+#include "programs/src_qu.inc"
+    ;
+static const char *SrcPG =
+#include "programs/src_pg.inc"
+    ;
+static const char *SrcPL2 =
+#include "programs/src_pl.inc"
+    ;
+static const char *SrcBR =
+#include "programs/src_br.inc"
+    ;
+static const char *SrcDS =
+#include "programs/src_ds.inc"
+    ;
+static const char *SrcCS =
+#include "programs/src_cs.inc"
+    ;
+static const char *SrcKA =
+#include "programs/src_ka.inc"
+    ;
+static const char *SrcPE =
+#include "programs/src_pe.inc"
+    ;
+static const char *SrcPR =
+#include "programs/src_pr.inc"
+    ;
+static const char *SrcRE =
+#include "programs/src_re.inc"
+    ;
+
+//===----------------------------------------------------------------------===//
+// Registries.
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchmarkProgram> &gaia::section2Examples() {
+  static const std::vector<BenchmarkProgram> Progs = {
+      {"nreverse", "naive reverse (Section 2)", SrcNreverse,
+       "nreverse(any,any)"},
+      {"process", "accumulator abstraction of a parser (Section 2)",
+       SrcProcess, "process(any,any)"},
+      {"process_mutual", "process with mutual recursion (Section 2)",
+       SrcProcessMutual, "process(any,any)"},
+      {"nested", "nested lists + reverse (Figure 1)", SrcNested,
+       "get(any)"},
+      {"gen", "gen/succ: two recursive structures at once (Section 2)",
+       SrcGen, "gen(any)"},
+      {"tokenizer", "compact Prolog tokenizer (Section 2)", SrcTokenizer,
+       "tokenize(any,any)"},
+      {"qsort", "quicksort with accumulator (Figure 4)", SrcQsort,
+       "qsort(any,any)"},
+      {"qsort_swapped", "Figure 4 with recursive calls switched",
+       SrcQsortSwapped, "qsort(any,any)"},
+      {"insert", "binary tree insertion (introduction)", SrcInsert,
+       "insert(any,any,any)"},
+      {"AR", "arithmetic expressions (Figure 2)", SrcAR, "add(any,any)"},
+      {"AR1", "arithmetic expressions (Figure 3)", SrcAR1,
+       "add(any,any)"},
+  };
+  return Progs;
+}
+
+const std::vector<BenchmarkProgram> &gaia::table123Suite() {
+  static const std::vector<BenchmarkProgram> Progs = {
+      {"KA", "alpha-beta kalah player (Sterling & Shapiro)", SrcKA,
+       "play(any,any)"},
+      {"QU", "n-queens", SrcQU, "queens(any,any)"},
+      {"PR", "PRESS symbolic equation solver (Sterling & Shapiro)",
+       SrcPR, "test_press(any,any)"},
+      {"PE", "SB-Prolog peephole optimizer (Debray)", SrcPE,
+       "peephole_opt(any,any)"},
+      {"CS", "cutting-stock configurations (Van Hentenryck)", SrcCS,
+       "cutstock(any)"},
+      {"DS", "disjunctive scheduling, generate and test", SrcDS,
+       "schedule(any,any)"},
+      {"PG", "W. Older's mathematical puzzle", SrcPG, "pg(any)"},
+      {"RE", "Prolog tokenizer and reader (O'Keefe & Warren)", SrcRE,
+       "read_term(any,any)"},
+      {"BR", "browse (Gabriel suite)", SrcBR, "browse(any)"},
+      {"PL", "blocks-world planner (Sterling & Shapiro)", SrcPL2,
+       "test_plan(any)"},
+  };
+  return Progs;
+}
+
+const std::vector<BenchmarkProgram> &gaia::benchmarkSuite() {
+  // Row order of Tables 4/5: AR AR1 CS DS BR KA LDS LPE LPL PE PG PL PR
+  // QU RE. The L-variants reuse the source with list input patterns.
+  static const std::vector<BenchmarkProgram> Progs = [] {
+    std::vector<BenchmarkProgram> V;
+    auto Find = [](const char *Key) -> const BenchmarkProgram & {
+      for (const BenchmarkProgram &P : table123Suite())
+        if (P.Key == Key)
+          return P;
+      for (const BenchmarkProgram &P : section2Examples())
+        if (P.Key == Key)
+          return P;
+      static BenchmarkProgram Missing;
+      return Missing;
+    };
+    V.push_back(Find("AR"));
+    V.push_back(Find("AR1"));
+    V.push_back(Find("CS"));
+    V.push_back(Find("DS"));
+    V.push_back(Find("BR"));
+    V.push_back(Find("KA"));
+    BenchmarkProgram LDS = Find("DS");
+    LDS.Key = "LDS";
+    LDS.GoalSpec = "schedule(list,any)";
+    V.push_back(LDS);
+    BenchmarkProgram LPE = Find("PE");
+    LPE.Key = "LPE";
+    LPE.GoalSpec = "peephole_opt(list,any)";
+    V.push_back(LPE);
+    BenchmarkProgram LPL = Find("PL");
+    LPL.Key = "LPL";
+    LPL.GoalSpec = "transform(list,list,any)";
+    V.push_back(LPL);
+    V.push_back(Find("PE"));
+    V.push_back(Find("PG"));
+    V.push_back(Find("PL"));
+    V.push_back(Find("PR"));
+    V.push_back(Find("QU"));
+    V.push_back(Find("RE"));
+    return V;
+  }();
+  return Progs;
+}
+
+const BenchmarkProgram *gaia::findBenchmark(const std::string &Key) {
+  for (const BenchmarkProgram &P : benchmarkSuite())
+    if (P.Key == Key)
+      return &P;
+  for (const BenchmarkProgram &P : table123Suite())
+    if (P.Key == Key)
+      return &P;
+  for (const BenchmarkProgram &P : section2Examples())
+    if (P.Key == Key)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,44 @@
+//===- programs/Benchmarks.h - The benchmark program suite ----------------==//
+///
+/// \file
+/// Embedded Prolog sources for the paper's evaluation: the ten
+/// medium-sized benchmarks of Section 9 (KA, QU, PR, PE, CS, DS, PG,
+/// RE, BR, PL — reconstructions from their published provenance; see
+/// DESIGN.md), the arithmetic programs AR/AR1 of Figures 2-3 (verbatim),
+/// the L-variants with list input patterns, and all Section 2
+/// illustration examples (verbatim).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROGRAMS_BENCHMARKS_H
+#define GAIA_PROGRAMS_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+struct BenchmarkProgram {
+  std::string Key;         ///< "KA", "QU", ..., "AR1", "nreverse", ...
+  std::string Description; ///< one-line provenance note
+  std::string Source;      ///< Prolog source text
+  std::string GoalSpec;    ///< input pattern, e.g. "kalah(any,any)"
+};
+
+/// The Section 9 benchmark suite (including AR, AR1 and the L-variants),
+/// in the row order of Tables 4/5.
+const std::vector<BenchmarkProgram> &benchmarkSuite();
+
+/// The ten Table 1/2/3 programs (KA..PL), in the paper's column order.
+const std::vector<BenchmarkProgram> &table123Suite();
+
+/// The Section 2 illustration examples.
+const std::vector<BenchmarkProgram> &section2Examples();
+
+/// Looks up any program by key (searches both suites). Returns nullptr
+/// if unknown.
+const BenchmarkProgram *findBenchmark(const std::string &Key);
+
+} // namespace gaia
+
+#endif // GAIA_PROGRAMS_BENCHMARKS_H

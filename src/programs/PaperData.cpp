@@ -1,0 +1,102 @@
+//===- programs/PaperData.cpp -------------------------------------------------=//
+
+#include "programs/PaperData.h"
+
+#include <cstring>
+
+using namespace gaia;
+
+// Table 1: sizes of the programs.
+static const PaperTable1Row Table1[] = {
+    {"KA", 44, 82, 475, 84, 73},  {"QU", 5, 9, 38, 8, 5},
+    {"PR", 52, 158, 742, 130, 75}, {"PE", 19, 168, 808, 90, 80},
+    {"CS", 32, 55, 336, 57, 46},  {"DS", 28, 52, 296, 60, 47},
+    {"PG", 10, 18, 93, 17, 11},   {"RE", 42, 163, 820, 168, 144},
+    {"BR", 20, 45, 207, 37, 21},  {"PL", 13, 26, 94, 29, 25},
+};
+
+// Table 2: syntactic form. (The CS column sums to 41 in the published
+// table against 32 procedures in Table 1 — an inconsistency in the
+// original; we record the printed digits.)
+static const PaperTable2Row Table2[] = {
+    {"KA", 12, 0, 7, 25}, {"QU", 4, 0, 0, 1},  {"PR", 12, 5, 8, 27},
+    {"PE", 6, 0, 4, 9},   {"CS", 9, 1, 2, 29}, {"DS", 14, 0, 0, 14},
+    {"PG", 6, 0, 0, 4},   {"RE", 6, 0, 16, 20}, {"BR", 11, 1, 0, 8},
+    {"PL", 4, 0, 0, 9},
+};
+
+// Table 3: computation results (times on a Sun SPARC-10).
+static const PaperTable3Row Table3[] = {
+    {"KA", 1.52, 149, 290, 1.27, 1.23},
+    {"QU", 0.01, 18, 35, 0.01, 0.01},
+    {"PR", 2.51, 253, 791, 2.35, 2.25},
+    {"PE", 2.73, 109, 569, 2.06, 1.69},
+    {"CS", 1.01, 99, 190, 0.97, 1.02},
+    {"DS", 0.72, 78, 142, 0.61, 0.71},
+    {"PG", 0.39, 59, 123, 0.37, 0.35},
+    {"RE", 117.15, 1052, 3300, 23.00, 9.19},
+    {"BR", 0.38, 72, 165, 0.38, 0.43},
+    {"PL", 0.31, 50, 98, 0.28, 0.31},
+};
+
+// Table 4: accuracy, output tags.
+static const PaperTagRow Table4[] = {
+    {"AR", 10, 10, 1.00, 5, 5, 1.00},
+    {"AR1", 10, 10, 1.00, 5, 5, 1.00},
+    {"CS", 93, 24, 0.26, 33, 12, 0.37},
+    {"DS", 59, 30, 0.51, 29, 13, 0.45},
+    {"BR", 59, 13, 0.22, 20, 11, 0.55},
+    {"KA", 124, 34, 0.27, 45, 22, 0.49},
+    {"LDS", 61, 40, 0.66, 31, 23, 0.50},
+    {"LPE", 63, 40, 0.66, 19, 19, 1.00},
+    {"LPL", 33, 15, 0.45, 14, 8, 0.57},
+    {"PE", 63, 38, 0.60, 19, 19, 1.00},
+    {"PG", 31, 14, 0.45, 10, 7, 0.70},
+    {"PL", 33, 10, 0.30, 14, 8, 0.57},
+    {"PR", 144, 32, 0.22, 53, 22, 0.41},
+    {"QU", 11, 6, 0.55, 5, 4, 0.80},
+    {"RE", 123, 37, 0.30, 43, 27, 0.63},
+};
+
+// Table 5: accuracy, input tags.
+static const PaperTagRow Table5[] = {
+    {"AR1", 10, 2, 0.20, 5, 1, 0.20},
+    {"AR", 10, 2, 0.20, 5, 1, 0.20},
+    {"CS", 93, 15, 0.16, 33, 10, 0.30},
+    {"DS", 59, 16, 0.27, 29, 12, 0.41},
+    {"BR", 59, 5, 0.08, 20, 5, 0.25},
+    {"KA", 124, 21, 0.17, 45, 18, 0.40},
+    {"LDS", 61, 24, 0.39, 31, 13, 0.42},
+    {"LPE", 63, 20, 0.32, 19, 14, 0.74},
+    {"LPL", 33, 14, 0.42, 14, 10, 0.71},
+    {"PE", 63, 10, 0.16, 19, 8, 0.32},
+    {"PG", 31, 7, 0.22, 10, 5, 0.50},
+    {"PL", 33, 3, 0.09, 14, 3, 0.21},
+    {"PR", 144, 22, 0.15, 53, 19, 0.36},
+    {"QU", 11, 2, 0.18, 5, 2, 0.40},
+    {"RE", 123, 16, 0.13, 43, 14, 0.33},
+};
+
+template <typename Row, size_t N>
+static const Row *lookup(const Row (&Rows)[N], const std::string &Key) {
+  for (const Row &R : Rows)
+    if (Key == R.Key)
+      return &R;
+  return nullptr;
+}
+
+const PaperTable1Row *gaia::paperTable1(const std::string &Key) {
+  return lookup(Table1, Key);
+}
+const PaperTable2Row *gaia::paperTable2(const std::string &Key) {
+  return lookup(Table2, Key);
+}
+const PaperTable3Row *gaia::paperTable3(const std::string &Key) {
+  return lookup(Table3, Key);
+}
+const PaperTagRow *gaia::paperTable4(const std::string &Key) {
+  return lookup(Table4, Key);
+}
+const PaperTagRow *gaia::paperTable5(const std::string &Key) {
+  return lookup(Table5, Key);
+}

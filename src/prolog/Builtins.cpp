@@ -1,0 +1,75 @@
+//===- prolog/Builtins.cpp --------------------------------------------------=//
+
+#include "prolog/Builtins.h"
+
+#include <map>
+
+using namespace gaia;
+
+BuiltinKind gaia::builtinKind(const std::string &Name, uint32_t Arity) {
+  static const std::map<std::pair<std::string, uint32_t>, BuiltinKind>
+      Table = {
+          {{"true", 0}, BuiltinKind::True},
+          {{"!", 0}, BuiltinKind::True},
+          {{"nl", 0}, BuiltinKind::True},
+          {{"fail", 0}, BuiltinKind::Fail},
+          {{"false", 0}, BuiltinKind::Fail},
+          {{"halt", 0}, BuiltinKind::Fail},
+          {{"write", 1}, BuiltinKind::True},
+          {{"writeln", 1}, BuiltinKind::True},
+          {{"print", 1}, BuiltinKind::True},
+          {{"read", 1}, BuiltinKind::True},
+          {{"tab", 1}, BuiltinKind::True},
+          {{"put", 1}, BuiltinKind::True},
+          {{"get0", 1}, BuiltinKind::TypeInt},
+          {{"get", 1}, BuiltinKind::TypeInt},
+          {{"is", 2}, BuiltinKind::Is},
+          {{"<", 2}, BuiltinKind::ArithTest},
+          {{">", 2}, BuiltinKind::ArithTest},
+          {{"=<", 2}, BuiltinKind::ArithTest},
+          {{">=", 2}, BuiltinKind::ArithTest},
+          {{"=:=", 2}, BuiltinKind::ArithTest},
+          {{"=\\=", 2}, BuiltinKind::ArithTest},
+          {{"integer", 1}, BuiltinKind::TypeInt},
+          {{"number", 1}, BuiltinKind::TypeInt},
+          {{"var", 1}, BuiltinKind::TypeTest},
+          {{"nonvar", 1}, BuiltinKind::TypeTest},
+          {{"atom", 1}, BuiltinKind::TypeTest},
+          {{"atomic", 1}, BuiltinKind::TypeTest},
+          {{"ground", 1}, BuiltinKind::TypeTest},
+          {{"callable", 1}, BuiltinKind::TypeTest},
+          {{"is_list", 1}, BuiltinKind::TypeTest},
+          {{"==", 2}, BuiltinKind::TermEq},
+          {{"=", 2}, BuiltinKind::Unify},
+          {{"\\=", 2}, BuiltinKind::NotEq},
+          {{"\\==", 2}, BuiltinKind::NotEq},
+          {{"@<", 2}, BuiltinKind::NotEq},
+          {{"@>", 2}, BuiltinKind::NotEq},
+          {{"@=<", 2}, BuiltinKind::NotEq},
+          {{"@>=", 2}, BuiltinKind::NotEq},
+          {{"compare", 3}, BuiltinKind::True},
+          {{"length", 2}, BuiltinKind::Length},
+          {{"functor", 3}, BuiltinKind::True},
+          {{"arg", 3}, BuiltinKind::Arg},
+          {{"=..", 2}, BuiltinKind::True},
+          {{"name", 2}, BuiltinKind::True},
+          {{"\\+", 1}, BuiltinKind::Opaque},
+          {{"not", 1}, BuiltinKind::Opaque},
+          {{"call", 1}, BuiltinKind::Opaque},
+          // All-solutions predicates: the collected list is Any (its
+          // element structure is not tracked), the goal is opaque.
+          {{"setof", 3}, BuiltinKind::True},
+          {{"bagof", 3}, BuiltinKind::True},
+          {{"findall", 3}, BuiltinKind::True},
+          {{"assert", 1}, BuiltinKind::True},
+          {{"asserta", 1}, BuiltinKind::True},
+          {{"assertz", 1}, BuiltinKind::True},
+          {{"retract", 1}, BuiltinKind::True},
+      };
+  auto It = Table.find({Name, Arity});
+  return It == Table.end() ? BuiltinKind::None : It->second;
+}
+
+BuiltinKind gaia::builtinKind(const SymbolTable &Syms, FunctorId Fn) {
+  return builtinKind(Syms.functorName(Fn), Syms.functorArity(Fn));
+}

@@ -1,0 +1,46 @@
+//===- prolog/Builtins.h - Builtin predicate table ------------------------==//
+///
+/// \file
+/// Classifies builtin predicates by their abstract behaviour. The
+/// collecting semantics only needs how a builtin's *success* constrains
+/// its arguments: type graphs are closed under instantiation, so "no
+/// refinement" (output = input) is always a sound approximation; the
+/// kinds below add precision where cheap (arithmetic implies Int,
+/// length/2 implies a list, ==/2 implies identity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROLOG_BUILTINS_H
+#define GAIA_PROLOG_BUILTINS_H
+
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace gaia {
+
+enum class BuiltinKind : uint8_t {
+  None,      ///< Not a builtin.
+  True,      ///< Succeeds without refinement (true, !, write, nl, ...).
+  Fail,      ///< Never succeeds (fail, false).
+  Is,        ///< is/2: first argument becomes Int.
+  ArithTest, ///< </2 etc.: both arguments become Int.
+  TypeInt,   ///< integer/1, number/1: argument becomes Int.
+  TypeTest,  ///< var/1, atom/1, ...: succeeds without refinement.
+  TermEq,    ///< ==/2: success implies identity; abstract unification.
+  Unify,     ///< =/2: abstract unification.
+  NotEq,     ///< \=/2, \==/2: no refinement.
+  Length,    ///< length/2: list and Int.
+  Arg,       ///< arg/3: first argument becomes Int.
+  Opaque,    ///< \+/1, not/1, call/1: succeeds, arguments ignored.
+};
+
+/// Returns the abstract kind of \p Name / \p Arity, or BuiltinKind::None.
+BuiltinKind builtinKind(const std::string &Name, uint32_t Arity);
+
+/// Convenience overload on an interned functor.
+BuiltinKind builtinKind(const SymbolTable &Syms, FunctorId Fn);
+
+} // namespace gaia
+
+#endif // GAIA_PROLOG_BUILTINS_H

@@ -1,0 +1,226 @@
+//===- prolog/Lexer.cpp -----------------------------------------------------=//
+
+#include "prolog/Lexer.h"
+
+#include <cctype>
+
+using namespace gaia;
+
+static bool isSymbolChar(char C) {
+  static const std::string SymChars = "+-*/\\^<>=~:.?@#&$";
+  return SymChars.find(C) != std::string::npos;
+}
+
+static bool isAlnumChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+Token Lexer::makeError(const std::string &Msg) {
+  return Token{TokKind::Error, Msg, 0, Line};
+}
+
+bool Lexer::skipLayoutAndComments(std::string *Err) {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      take();
+      continue;
+    }
+    if (C == '%') {
+      while (Pos < Src.size() && peek() != '\n')
+        take();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      take();
+      take();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        take();
+      if (Pos >= Src.size()) {
+        if (Err)
+          *Err = "unterminated block comment";
+        return false;
+      }
+      take();
+      take();
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
+Token Lexer::next() {
+  bool WasAtomLike = PrevWasAtomLike;
+  PrevWasAtomLike = false;
+
+  size_t Before = Pos;
+  std::string Err;
+  if (!skipLayoutAndComments(&Err))
+    return makeError(Err);
+  bool SawLayout = Pos != Before;
+  if (Pos >= Src.size())
+    return Token{TokKind::Eof, "", 0, Line};
+
+  uint32_t TokLine = Line;
+  char C = peek();
+
+  // Punctuation.
+  switch (C) {
+  case '(': {
+    take();
+    TokKind K =
+        (WasAtomLike && !SawLayout) ? TokKind::LParenF : TokKind::LParen;
+    return Token{K, "(", 0, TokLine};
+  }
+  case ')':
+    take();
+    return Token{TokKind::RParen, ")", 0, TokLine};
+  case '[':
+    take();
+    return Token{TokKind::LBracket, "[", 0, TokLine};
+  case ']':
+    take();
+    PrevWasAtomLike = true; // "[]" handled by parser; ']' ends a term
+    return Token{TokKind::RBracket, "]", 0, TokLine};
+  case '{':
+    take();
+    return Token{TokKind::LBrace, "{", 0, TokLine};
+  case '}':
+    take();
+    PrevWasAtomLike = true;
+    return Token{TokKind::RBrace, "}", 0, TokLine};
+  case ',':
+    take();
+    return Token{TokKind::Comma, ",", 0, TokLine};
+  case '|':
+    take();
+    return Token{TokKind::Bar, "|", 0, TokLine};
+  case '!':
+    take();
+    PrevWasAtomLike = true;
+    return Token{TokKind::Atom, "!", 0, TokLine};
+  case ';':
+    take();
+    PrevWasAtomLike = true;
+    return Token{TokKind::Atom, ";", 0, TokLine};
+  default:
+    break;
+  }
+
+  // Quoted atom.
+  if (C == '\'') {
+    take();
+    std::string Text;
+    while (true) {
+      if (Pos >= Src.size())
+        return makeError("unterminated quoted atom");
+      char Q = take();
+      if (Q == '\'') {
+        if (peek() == '\'') { // escaped quote
+          take();
+          Text += '\'';
+          continue;
+        }
+        break;
+      }
+      if (Q == '\\' && Pos < Src.size()) {
+        char E = take();
+        switch (E) {
+        case 'n':
+          Text += '\n';
+          break;
+        case 't':
+          Text += '\t';
+          break;
+        case '\\':
+          Text += '\\';
+          break;
+        case '\'':
+          Text += '\'';
+          break;
+        default:
+          Text += E;
+          break;
+        }
+        continue;
+      }
+      Text += Q;
+    }
+    PrevWasAtomLike = true;
+    return Token{TokKind::Atom, Text, 0, TokLine};
+  }
+
+  // String.
+  if (C == '"') {
+    take();
+    std::string Text;
+    while (true) {
+      if (Pos >= Src.size())
+        return makeError("unterminated string");
+      char Q = take();
+      if (Q == '"')
+        break;
+      Text += Q;
+    }
+    PrevWasAtomLike = true;
+    return Token{TokKind::Str, Text, 0, TokLine};
+  }
+
+  // Integer (including 0'c character codes).
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    if (C == '0' && peek(1) == '\'' && Pos + 2 < Src.size()) {
+      take();
+      take();
+      char Ch = take();
+      PrevWasAtomLike = true;
+      return Token{TokKind::Int, std::string(1, Ch),
+                   static_cast<int64_t>(static_cast<unsigned char>(Ch)),
+                   TokLine};
+    }
+    int64_t Value = 0;
+    while (Pos < Src.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (take() - '0');
+    PrevWasAtomLike = true;
+    return Token{TokKind::Int, std::to_string(Value), Value, TokLine};
+  }
+
+  // Variable.
+  if (std::isupper(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (Pos < Src.size() && isAlnumChar(peek()))
+      Text += take();
+    PrevWasAtomLike = true;
+    return Token{TokKind::Var, Text, 0, TokLine};
+  }
+
+  // Alphanumeric atom.
+  if (std::islower(static_cast<unsigned char>(C))) {
+    std::string Text;
+    while (Pos < Src.size() && isAlnumChar(peek()))
+      Text += take();
+    PrevWasAtomLike = true;
+    return Token{TokKind::Atom, Text, 0, TokLine};
+  }
+
+  // Symbolic atom or the clause-terminating dot. A '.' terminates the
+  // clause when followed by layout, a comment, or end of input.
+  if (isSymbolChar(C)) {
+    if (C == '.') {
+      char After = peek(1);
+      if (After == '\0' ||
+          std::isspace(static_cast<unsigned char>(After)) || After == '%') {
+        take();
+        return Token{TokKind::End, ".", 0, TokLine};
+      }
+    }
+    std::string Text;
+    while (Pos < Src.size() && isSymbolChar(peek()))
+      Text += take();
+    PrevWasAtomLike = true;
+    return Token{TokKind::Atom, Text, 0, TokLine};
+  }
+
+  return makeError(std::string("unexpected character '") + C + "'");
+}

@@ -1,0 +1,75 @@
+//===- prolog/Lexer.h - Prolog tokenizer ----------------------------------==//
+///
+/// \file
+/// A standard Prolog tokenizer: atoms (alphanumeric, symbolic, quoted,
+/// solo), variables, integers (including 0'c character codes), strings,
+/// punctuation, the clause-terminating dot, and both comment styles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROLOG_LEXER_H
+#define GAIA_PROLOG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gaia {
+
+enum class TokKind : uint8_t {
+  Atom,
+  Var,
+  Int,
+  Str,
+  LParen,  // '(' preceded by a layout character
+  LParenF, // '(' immediately after an atom: opens an argument list
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Bar,
+  End, // clause-terminating '.'
+  Eof,
+  Error,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   // atom/var name, error message
+  int64_t IntVal = 0; // integers
+  uint32_t Line = 0;
+};
+
+/// Tokenizes Prolog source text. Call next() until Eof or Error.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  Token next();
+
+  uint32_t line() const { return Line; }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char take() {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  bool skipLayoutAndComments(std::string *Err);
+  Token makeError(const std::string &Msg);
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  bool PrevWasAtomLike = false;
+};
+
+} // namespace gaia
+
+#endif // GAIA_PROLOG_LEXER_H

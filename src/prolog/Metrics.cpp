@@ -1,0 +1,194 @@
+//===- prolog/Metrics.cpp ---------------------------------------------------=//
+
+#include "prolog/Metrics.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace gaia;
+
+const std::vector<FunctorId> CallGraph::Empty;
+
+namespace {
+
+/// Walks a goal term, invoking \p OnCall for every leaf goal that calls a
+/// user-defined predicate. Looks through ',', ';', '->', '\+', 'not' and
+/// 'call', matching how the paper counts goals in control constructs.
+static void forEachCall(const Term &Goal, const Program &Prog,
+                        SymbolTable &Syms,
+                        const std::function<void(FunctorId)> &OnCall) {
+  if (!Goal.isCallable())
+    return;
+  const std::string &Name = Syms.name(Goal.name());
+  if (Goal.arity() == 2 &&
+      (Name == "," || Name == ";" || Name == "->")) {
+    forEachCall(Goal.args()[0], Prog, Syms, OnCall);
+    forEachCall(Goal.args()[1], Prog, Syms, OnCall);
+    return;
+  }
+  if (Goal.arity() == 1 &&
+      (Name == "\\+" || Name == "not" || Name == "call")) {
+    forEachCall(Goal.args()[0], Prog, Syms, OnCall);
+    return;
+  }
+  FunctorId Fn = Goal.functor(Syms);
+  if (Prog.defines(Fn))
+    OnCall(Fn);
+}
+
+} // namespace
+
+CallGraph::CallGraph(const Program &Prog, SymbolTable &Syms) {
+  for (const Procedure &P : Prog.procedures()) {
+    Preds.push_back(P.Fn);
+    std::vector<FunctorId> &Out = Callees[P.Fn];
+    std::set<FunctorId> Seen;
+    for (const Clause &C : P.Clauses)
+      for (const Term &Goal : C.Body)
+        forEachCall(Goal, Prog, Syms, [&](FunctorId Fn) {
+          if (Seen.insert(Fn).second)
+            Out.push_back(Fn);
+        });
+  }
+}
+
+const std::vector<FunctorId> &CallGraph::callees(FunctorId Fn) const {
+  auto It = Callees.find(Fn);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+std::vector<std::vector<FunctorId>>
+CallGraph::stronglyConnectedComponents() const {
+  // Tarjan's algorithm (iterative bookkeeping kept simple; programs are
+  // small).
+  std::vector<std::vector<FunctorId>> SCCs;
+  std::unordered_map<FunctorId, uint32_t> IndexOf, LowLink;
+  std::vector<FunctorId> Stack;
+  std::set<FunctorId> OnStack;
+  uint32_t NextIndex = 0;
+
+  std::function<void(FunctorId)> StrongConnect = [&](FunctorId V) {
+    IndexOf[V] = NextIndex;
+    LowLink[V] = NextIndex;
+    ++NextIndex;
+    Stack.push_back(V);
+    OnStack.insert(V);
+    for (FunctorId W : callees(V)) {
+      if (!IndexOf.count(W)) {
+        StrongConnect(W);
+        LowLink[V] = std::min(LowLink[V], LowLink[W]);
+      } else if (OnStack.count(W)) {
+        LowLink[V] = std::min(LowLink[V], IndexOf[W]);
+      }
+    }
+    if (LowLink[V] == IndexOf[V]) {
+      std::vector<FunctorId> SCC;
+      while (true) {
+        FunctorId W = Stack.back();
+        Stack.pop_back();
+        OnStack.erase(W);
+        SCC.push_back(W);
+        if (W == V)
+          break;
+      }
+      SCCs.push_back(std::move(SCC));
+    }
+  };
+
+  for (FunctorId P : Preds)
+    if (!IndexOf.count(P))
+      StrongConnect(P);
+  return SCCs;
+}
+
+SizeMetrics gaia::computeSizeMetrics(const Program &Prog,
+                                     const NProgram &NProg,
+                                     SymbolTable &Syms, FunctorId Entry) {
+  SizeMetrics M;
+  M.NumProcedures = static_cast<uint32_t>(Prog.procedures().size());
+  M.NumClauses = Prog.numClauses();
+  M.NumProgramPoints = NProg.numProgramPoints();
+
+  for (const Procedure &P : Prog.procedures())
+    for (const Clause &C : P.Clauses)
+      for (const Term &Goal : C.Body)
+        forEachCall(Goal, Prog, Syms, [&](FunctorId) { ++M.NumGoals; });
+
+  // Static call tree: unfold the call graph from the entry, cutting
+  // calls back to predicates on the current path ([15]).
+  CallGraph CG(Prog, Syms);
+  constexpr uint64_t Budget = 1000000;
+  std::set<FunctorId> Path;
+  std::function<uint64_t(FunctorId)> TreeSize =
+      [&](FunctorId P) -> uint64_t {
+    uint64_t Size = 1;
+    Path.insert(P);
+    for (FunctorId Q : CG.callees(P)) {
+      if (Path.count(Q))
+        continue;
+      Size += TreeSize(Q);
+      if (Size > Budget)
+        break;
+    }
+    Path.erase(P);
+    return std::min(Size, Budget);
+  };
+  M.StaticCallTreeSize = Prog.defines(Entry) ? TreeSize(Entry) : 0;
+  return M;
+}
+
+RecursionMetrics gaia::classifyRecursion(const Program &Prog,
+                                         SymbolTable &Syms) {
+  RecursionMetrics M;
+  CallGraph CG(Prog, Syms);
+
+  // Predicates in SCCs of size > 1 are mutually recursive.
+  std::set<FunctorId> Mutual;
+  for (const std::vector<FunctorId> &SCC :
+       CG.stronglyConnectedComponents())
+    if (SCC.size() > 1)
+      for (FunctorId P : SCC)
+        Mutual.insert(P);
+
+  for (const Procedure &P : Prog.procedures()) {
+    if (Mutual.count(P.Fn)) {
+      ++M.MutuallyRecursive;
+      continue;
+    }
+    const std::vector<FunctorId> &Callees = CG.callees(P.Fn);
+    bool SelfRecursive =
+        std::find(Callees.begin(), Callees.end(), P.Fn) != Callees.end();
+    if (!SelfRecursive) {
+      ++M.NonRecursive;
+      continue;
+    }
+    // Tail recursive iff every clause has at most one recursive call and
+    // that call is the final goal of the clause.
+    bool Tail = true;
+    for (const Clause &C : P.Clauses) {
+      uint32_t RecCalls = 0;
+      for (const Term &Goal : C.Body)
+        forEachCall(Goal, Prog, Syms, [&](FunctorId Fn) {
+          if (Fn == P.Fn)
+            ++RecCalls;
+        });
+      if (RecCalls == 0)
+        continue;
+      bool LastIsDirectRecursive =
+          !C.Body.empty() && C.Body.back().isCallable() &&
+          C.Body.back().functor(Syms) == P.Fn;
+      if (RecCalls > 1 || !LastIsDirectRecursive) {
+        Tail = false;
+        break;
+      }
+    }
+    if (Tail)
+      ++M.TailRecursive;
+    else
+      ++M.LocallyRecursive;
+  }
+  return M;
+}

@@ -1,0 +1,279 @@
+//===- prolog/Normalize.cpp -------------------------------------------------=//
+
+#include "prolog/Normalize.h"
+
+#include "support/Debug.h"
+
+#include <unordered_map>
+
+using namespace gaia;
+
+namespace {
+
+/// Expands control constructs in a body into alternative goal sequences.
+/// ';' is exact under the collecting semantics; '(C -> T ; E)' becomes
+/// the alternatives (C,T) and E, a sound over-approximation that ignores
+/// the commit.
+class ControlExpander {
+public:
+  ControlExpander(const SymbolTable &Syms, size_t MaxPaths)
+      : Syms(Syms), MaxPaths(MaxPaths) {}
+
+  std::vector<std::vector<Term>> expand(const std::vector<Term> &Body) {
+    std::vector<std::vector<Term>> Paths{{}};
+    for (const Term &Goal : Body) {
+      std::vector<std::vector<Term>> Alts = alternatives(Goal);
+      std::vector<std::vector<Term>> Next;
+      for (const std::vector<Term> &P : Paths)
+        for (const std::vector<Term> &A : Alts) {
+          if (Next.size() >= MaxPaths) {
+            // Too many paths: keep the goal opaque instead of expanding.
+            Next.clear();
+            for (const std::vector<Term> &P2 : Paths) {
+              Next.push_back(P2);
+              Next.back().push_back(Goal);
+            }
+            goto doneGoal;
+          }
+          Next.push_back(P);
+          Next.back().insert(Next.back().end(), A.begin(), A.end());
+        }
+    doneGoal:
+      Paths = std::move(Next);
+    }
+    return Paths;
+  }
+
+private:
+  bool isNamed(const Term &T, const char *Name, uint32_t Arity) const {
+    return T.isCompound() && T.arity() == Arity &&
+           Syms.name(T.name()) == Name;
+  }
+
+  std::vector<std::vector<Term>> alternatives(const Term &Goal) {
+    if (isNamed(Goal, ",", 2)) {
+      std::vector<Term> Flat;
+      flattenConjunction(Goal, Syms, Flat);
+      ControlExpander Sub(Syms, MaxPaths);
+      return Sub.expand(Flat);
+    }
+    if (isNamed(Goal, ";", 2)) {
+      const Term &L = Goal.args()[0];
+      const Term &R = Goal.args()[1];
+      std::vector<std::vector<Term>> Result;
+      if (isNamed(L, "->", 2)) {
+        // (C -> T ; E): alternatives are the sequences of (C, T) and E.
+        std::vector<Term> Seq{L.args()[0], L.args()[1]};
+        ControlExpander Sub(Syms, MaxPaths);
+        for (auto &A : Sub.expand(Seq))
+          Result.push_back(std::move(A));
+      } else {
+        for (auto &A : alternatives(L))
+          Result.push_back(std::move(A));
+      }
+      for (auto &A : alternatives(R))
+        Result.push_back(std::move(A));
+      return Result;
+    }
+    if (isNamed(Goal, "->", 2)) {
+      std::vector<Term> Seq{Goal.args()[0], Goal.args()[1]};
+      ControlExpander Sub(Syms, MaxPaths);
+      return Sub.expand(Seq);
+    }
+    return {{Goal}};
+  }
+
+  const SymbolTable &Syms;
+  size_t MaxPaths;
+};
+
+/// Normalizes one clause path (head + expanded body) into an NClause.
+class ClauseNormalizer {
+public:
+  ClauseNormalizer(SymbolTable &Syms, const Program &Prog,
+                   std::set<FunctorId> &Unknown)
+      : Syms(Syms), Prog(Prog), Unknown(Unknown) {}
+
+  NClause run(const Term &Head, const std::vector<Term> &Body,
+              uint32_t Line) {
+    NClause C;
+    C.Line = Line;
+    C.Arity = Head.isCompound() ? Head.arity() : 0;
+
+    // Head arguments: fresh variables become the argument slots
+    // directly; anything else unifies with the slot.
+    NumVars = C.Arity;
+    std::vector<std::pair<uint32_t, const Term *>> HeadExtra;
+    if (Head.isCompound()) {
+      for (uint32_t I = 0; I != C.Arity; ++I) {
+        const Term &Arg = Head.args()[I];
+        if (Arg.isVar() && !VarMap.count(Arg.name())) {
+          VarMap.emplace(Arg.name(), I);
+          continue;
+        }
+        HeadExtra.emplace_back(I, &Arg);
+      }
+    }
+    for (const auto &[Slot, T] : HeadExtra)
+      unifyVarTerm(Slot, *T);
+
+    for (const Term &Goal : Body)
+      emitGoal(Goal);
+
+    C.NumVars = NumVars;
+    C.Ops = std::move(Ops);
+    return C;
+  }
+
+private:
+  uint32_t freshVar() { return NumVars++; }
+
+  uint32_t varIndex(const Term &V) {
+    assert(V.isVar() && "expected variable");
+    auto [It, Inserted] = VarMap.emplace(V.name(), NumVars);
+    if (Inserted)
+      ++NumVars;
+    return It->second;
+  }
+
+  /// Emits ops binding variable \p X to term \p T.
+  void unifyVarTerm(uint32_t X, const Term &T) {
+    if (T.isVar()) {
+      uint32_t Y = varIndex(T);
+      if (Y == X)
+        return;
+      NOp Op;
+      Op.K = NOp::Kind::UnifyVar;
+      Op.A = X;
+      Op.B = Y;
+      Ops.push_back(std::move(Op));
+      return;
+    }
+    // Atom, integer or compound: bind the functor, then the arguments.
+    NOp Op;
+    Op.K = NOp::Kind::UnifyFunc;
+    Op.A = X;
+    Op.Fn = T.functor(Syms);
+    std::vector<std::pair<uint32_t, const Term *>> Pending;
+    if (T.isCompound()) {
+      for (const Term &Arg : T.args()) {
+        if (Arg.isVar()) {
+          Op.Args.push_back(varIndex(Arg));
+        } else {
+          uint32_t V = freshVar();
+          Op.Args.push_back(V);
+          Pending.emplace_back(V, &Arg);
+        }
+      }
+    }
+    Ops.push_back(std::move(Op));
+    for (const auto &[V, Sub] : Pending)
+      unifyVarTerm(V, *Sub);
+  }
+
+  /// Flattens a goal argument to a variable index.
+  uint32_t argVar(const Term &T) {
+    if (T.isVar())
+      return varIndex(T);
+    uint32_t V = freshVar();
+    unifyVarTerm(V, T);
+    return V;
+  }
+
+  void emitGoal(const Term &Goal) {
+    if (Goal.isVar() || Goal.isInt()) {
+      // Call through a variable: opaque.
+      NOp Op;
+      Op.K = NOp::Kind::Builtin;
+      Op.BK = BuiltinKind::Opaque;
+      Op.Fn = Syms.functor("call", 1);
+      Ops.push_back(std::move(Op));
+      return;
+    }
+    const std::string &Name = Syms.name(Goal.name());
+    uint32_t Arity = Goal.arity();
+    BuiltinKind BK = builtinKind(Name, Arity);
+
+    if (BK == BuiltinKind::Unify || BK == BuiltinKind::TermEq) {
+      // =/2 and ==/2 become unification ops directly.
+      const Term &L = Goal.args()[0];
+      const Term &R = Goal.args()[1];
+      if (L.isVar()) {
+        unifyVarTerm(varIndex(L), R);
+      } else if (R.isVar()) {
+        unifyVarTerm(varIndex(R), L);
+      } else {
+        uint32_t V = freshVar();
+        unifyVarTerm(V, L);
+        unifyVarTerm(V, R);
+      }
+      return;
+    }
+
+    if (BK == BuiltinKind::Opaque) {
+      // Ignore the wrapped goal entirely: \+/not/call succeed without
+      // visible bindings under our approximation.
+      NOp Op;
+      Op.K = NOp::Kind::Builtin;
+      Op.BK = BK;
+      Op.Fn = Goal.functor(Syms);
+      Ops.push_back(std::move(Op));
+      return;
+    }
+
+    FunctorId Fn = Goal.functor(Syms);
+    bool IsCall = BK == BuiltinKind::None && Prog.defines(Fn);
+    if (BK == BuiltinKind::None && !IsCall) {
+      Unknown.insert(Fn);
+      BK = BuiltinKind::True; // sound: succeed without refinement
+    }
+
+    NOp Op;
+    Op.K = IsCall ? NOp::Kind::Call : NOp::Kind::Builtin;
+    Op.Fn = Fn;
+    Op.BK = BK;
+    std::vector<uint32_t> Args;
+    Args.reserve(Arity);
+    for (const Term &Arg : Goal.args())
+      Args.push_back(argVar(Arg));
+    Op.Args = std::move(Args);
+    Ops.push_back(std::move(Op));
+  }
+
+  SymbolTable &Syms;
+  const Program &Prog;
+  std::set<FunctorId> &Unknown;
+  std::unordered_map<SymbolId, uint32_t> VarMap;
+  std::vector<NOp> Ops;
+  uint32_t NumVars = 0;
+};
+
+} // namespace
+
+NProgram NProgram::fromProgram(const Program &Prog, SymbolTable &Syms) {
+  NProgram NP;
+  constexpr size_t MaxPaths = 64;
+  for (const Procedure &P : Prog.procedures()) {
+    NProcedure NProc;
+    NProc.Fn = P.Fn;
+    for (const Clause &C : P.Clauses) {
+      ControlExpander Expander(Syms, MaxPaths);
+      std::vector<std::vector<Term>> Paths = Expander.expand(C.Body);
+      for (const std::vector<Term> &Body : Paths) {
+        ClauseNormalizer N(Syms, Prog, NP.Unknown);
+        NProc.Clauses.push_back(N.run(C.Head, Body, C.Line));
+      }
+    }
+    NP.Index.emplace(NProc.Fn, NP.Procs.size());
+    NP.Procs.push_back(std::move(NProc));
+  }
+  return NP;
+}
+
+uint64_t NProgram::numProgramPoints() const {
+  uint64_t Points = 0;
+  for (const NProcedure &P : Procs)
+    for (const NClause &C : P.Clauses)
+      Points += C.Ops.size() + 1;
+  return Points;
+}

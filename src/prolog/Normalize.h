@@ -1,0 +1,89 @@
+//===- prolog/Normalize.h - Normalized clauses for the analyzer -----------==//
+///
+/// \file
+/// The fixpoint engine consumes clauses in the normalized form of the
+/// GAIA framework (Le Charlier & Van Hentenryck, TOPLAS'94): clause
+/// variables are numbered 0..NumVars-1 with the first Arity variables
+/// being the head arguments, and the body is a sequence of primitive
+/// operations:
+///
+///   UnifyVar  Xi = Xj
+///   UnifyFunc Xi = f(Xj1, ..., Xjn)     (arguments are variables)
+///   Call      q(Xi1, ..., Xim)          (user predicate)
+///   Builtin   b(Xi1, ..., Xim)          (abstract builtin semantics)
+///
+/// Nested structures are flattened through fresh variables; disjunctions
+/// and if-then-else are expanded into multiple normalized clauses (the
+/// collecting semantics ignores clause selection, so this is exact for
+/// ';' and a sound over-approximation for '->').
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROLOG_NORMALIZE_H
+#define GAIA_PROLOG_NORMALIZE_H
+
+#include "prolog/Builtins.h"
+#include "prolog/Program.h"
+
+#include <set>
+
+namespace gaia {
+
+/// One primitive operation of a normalized clause body.
+struct NOp {
+  enum class Kind : uint8_t { UnifyVar, UnifyFunc, Call, Builtin };
+  Kind K = Kind::UnifyVar;
+  /// UnifyVar: the two variables. UnifyFunc: A is the bound variable.
+  uint32_t A = 0, B = 0;
+  /// UnifyFunc: the functor; Call/Builtin: the predicate.
+  FunctorId Fn = InvalidFunctor;
+  /// UnifyFunc: argument variables; Call/Builtin: argument variables.
+  std::vector<uint32_t> Args;
+  /// Builtin only.
+  BuiltinKind BK = BuiltinKind::None;
+};
+
+/// A normalized clause.
+struct NClause {
+  uint32_t NumVars = 0;
+  uint32_t Arity = 0; ///< variables 0..Arity-1 are the head arguments
+  std::vector<NOp> Ops;
+  uint32_t Line = 0;
+};
+
+/// All normalized clauses of one predicate.
+struct NProcedure {
+  FunctorId Fn = InvalidFunctor;
+  std::vector<NClause> Clauses;
+};
+
+/// A normalized program, the unit the fixpoint engine runs on.
+class NProgram {
+public:
+  /// Normalizes \p Prog. Goals calling predicates that are neither
+  /// defined nor builtin are treated as opaque builtins (sound) and
+  /// recorded in unknownPredicates().
+  static NProgram fromProgram(const Program &Prog, SymbolTable &Syms);
+
+  const std::vector<NProcedure> &procedures() const { return Procs; }
+
+  const NProcedure *find(FunctorId Fn) const {
+    auto It = Index.find(Fn);
+    return It == Index.end() ? nullptr : &Procs[It->second];
+  }
+
+  const std::set<FunctorId> &unknownPredicates() const { return Unknown; }
+
+  /// Paper Table 1 "program points": one point before and after each
+  /// primitive operation, i.e. sum of (#ops + 1) over clauses.
+  uint64_t numProgramPoints() const;
+
+private:
+  std::vector<NProcedure> Procs;
+  std::unordered_map<FunctorId, size_t> Index;
+  std::set<FunctorId> Unknown;
+};
+
+} // namespace gaia
+
+#endif // GAIA_PROLOG_NORMALIZE_H

@@ -1,0 +1,309 @@
+//===- prolog/Parser.cpp ----------------------------------------------------=//
+
+#include "prolog/Parser.h"
+
+#include <map>
+
+using namespace gaia;
+
+// Standard operator table (subset sufficient for the benchmark suite).
+static const std::map<std::string, Parser::OpInfo> &infixTable() {
+  using Fix = Parser::OpInfo::Fix;
+  static const std::map<std::string, Parser::OpInfo> Table = {
+      {":-", {1200, Fix::XFX}},  {"-->", {1200, Fix::XFX}},
+      {";", {1100, Fix::XFY}},   {"->", {1050, Fix::XFY}},
+      {",", {1000, Fix::XFY}},   {"=", {700, Fix::XFX}},
+      {"\\=", {700, Fix::XFX}},  {"==", {700, Fix::XFX}},
+      {"\\==", {700, Fix::XFX}}, {"@<", {700, Fix::XFX}},
+      {"@>", {700, Fix::XFX}},   {"@=<", {700, Fix::XFX}},
+      {"@>=", {700, Fix::XFX}},  {"is", {700, Fix::XFX}},
+      {"=..", {700, Fix::XFX}},  {"=:=", {700, Fix::XFX}},
+      {"=\\=", {700, Fix::XFX}}, {"<", {700, Fix::XFX}},
+      {">", {700, Fix::XFX}},    {"=<", {700, Fix::XFX}},
+      {">=", {700, Fix::XFX}},   {"+", {500, Fix::YFX}},
+      {"-", {500, Fix::YFX}},    {"/\\", {500, Fix::YFX}},
+      {"\\/", {500, Fix::YFX}},  {"xor", {500, Fix::YFX}},
+      {"*", {400, Fix::YFX}},    {"/", {400, Fix::YFX}},
+      {"//", {400, Fix::YFX}},   {"mod", {400, Fix::YFX}},
+      {"<<", {400, Fix::YFX}},   {">>", {400, Fix::YFX}},
+      {"**", {200, Fix::XFX}},   {"^", {200, Fix::XFY}},
+  };
+  return Table;
+}
+
+static const std::map<std::string, Parser::OpInfo> &prefixTable() {
+  using Fix = Parser::OpInfo::Fix;
+  static const std::map<std::string, Parser::OpInfo> Table = {
+      {":-", {1200, Fix::FX}}, {"?-", {1200, Fix::FX}},
+      {"\\+", {900, Fix::FY}}, {"not", {900, Fix::FY}},
+      {"-", {200, Fix::FY}},   {"+", {200, Fix::FY}},
+      {"\\", {200, Fix::FY}},
+  };
+  return Table;
+}
+
+const Parser::OpInfo *Parser::infixOp(const std::string &Name) {
+  auto It = infixTable().find(Name);
+  return It == infixTable().end() ? nullptr : &It->second;
+}
+
+const Parser::OpInfo *Parser::prefixOp(const std::string &Name) {
+  auto It = prefixTable().find(Name);
+  return It == prefixTable().end() ? nullptr : &It->second;
+}
+
+Parser::Parser(std::string_view Source, SymbolTable &Syms)
+    : Lex(Source), Syms(Syms) {
+  advance();
+}
+
+void Parser::advance() { Tok = Lex.next(); }
+
+bool Parser::fail(const std::string &Msg) {
+  if (ErrorMsg.empty()) {
+    ErrorMsg = Msg;
+    ErrorLine = Tok.Line;
+  }
+  return false;
+}
+
+bool Parser::peekIsTermStart() const {
+  switch (Tok.Kind) {
+  case TokKind::Atom:
+  case TokKind::Var:
+  case TokKind::Int:
+  case TokKind::Str:
+  case TokKind::LParen:
+  case TokKind::LParenF:
+  case TokKind::LBracket:
+  case TokKind::LBrace:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<Term> Parser::parseClause() {
+  if (Tok.Kind == TokKind::Eof)
+    return std::nullopt;
+  if (Tok.Kind == TokKind::Error) {
+    fail(Tok.Text);
+    return std::nullopt;
+  }
+  unsigned Prec;
+  std::optional<Term> T = parseExpr(1200, Prec);
+  if (!T)
+    return std::nullopt;
+  if (Tok.Kind != TokKind::End) {
+    fail("expected '.' at end of clause, got '" + Tok.Text + "'");
+    return std::nullopt;
+  }
+  advance();
+  return T;
+}
+
+std::optional<Term> Parser::parseExpr(unsigned MaxPrec, unsigned &OutPrec) {
+  unsigned LeftPrec;
+  std::optional<Term> Left = parsePrimary(MaxPrec, LeftPrec);
+  if (!Left)
+    return std::nullopt;
+
+  while (true) {
+    std::string OpName;
+    if (Tok.Kind == TokKind::Atom) {
+      OpName = Tok.Text;
+    } else if (Tok.Kind == TokKind::Comma) {
+      OpName = ",";
+    } else {
+      break;
+    }
+    const OpInfo *Op = infixOp(OpName);
+    if (!Op || Op->Prec > MaxPrec)
+      break;
+    unsigned LeftMax =
+        Op->Fixity == OpInfo::Fix::YFX ? Op->Prec : Op->Prec - 1;
+    unsigned RightMax =
+        Op->Fixity == OpInfo::Fix::XFY ? Op->Prec : Op->Prec - 1;
+    if (LeftPrec > LeftMax)
+      break;
+    advance();
+    unsigned RightPrec;
+    std::optional<Term> Right = parseExpr(RightMax, RightPrec);
+    if (!Right)
+      return std::nullopt;
+    Left = Term::mkCompound(Syms.intern(OpName),
+                            {std::move(*Left), std::move(*Right)});
+    LeftPrec = Op->Prec;
+  }
+  OutPrec = LeftPrec;
+  return Left;
+}
+
+std::optional<Term> Parser::parseArgList(SymbolId Functor) {
+  // Current token is LParenF; parse comma-separated args at priority 999.
+  advance();
+  std::vector<Term> Args;
+  while (true) {
+    unsigned Prec;
+    std::optional<Term> Arg = parseExpr(999, Prec);
+    if (!Arg)
+      return std::nullopt;
+    Args.push_back(std::move(*Arg));
+    if (Tok.Kind == TokKind::Comma) {
+      advance();
+      continue;
+    }
+    break;
+  }
+  if (Tok.Kind != TokKind::RParen) {
+    fail("expected ')' in argument list");
+    return std::nullopt;
+  }
+  advance();
+  return Term::mkCompound(Functor, std::move(Args));
+}
+
+std::optional<Term> Parser::parseList() {
+  // Current token is '['.
+  advance();
+  if (Tok.Kind == TokKind::RBracket) {
+    advance();
+    return Term::mkAtom(Syms.intern("[]"));
+  }
+  std::vector<Term> Elems;
+  std::optional<Term> Tail;
+  while (true) {
+    unsigned Prec;
+    std::optional<Term> E = parseExpr(999, Prec);
+    if (!E)
+      return std::nullopt;
+    Elems.push_back(std::move(*E));
+    if (Tok.Kind == TokKind::Comma) {
+      advance();
+      continue;
+    }
+    if (Tok.Kind == TokKind::Bar) {
+      advance();
+      unsigned TPrec;
+      Tail = parseExpr(999, TPrec);
+      if (!Tail)
+        return std::nullopt;
+    }
+    break;
+  }
+  if (Tok.Kind != TokKind::RBracket) {
+    fail("expected ']' in list");
+    return std::nullopt;
+  }
+  advance();
+  Term Result = Tail ? std::move(*Tail) : Term::mkAtom(Syms.intern("[]"));
+  SymbolId Dot = Syms.intern(".");
+  for (auto It = Elems.rbegin(), E = Elems.rend(); It != E; ++It)
+    Result = Term::mkCompound(Dot, {std::move(*It), std::move(Result)});
+  return Result;
+}
+
+std::optional<Term> Parser::parsePrimary(unsigned MaxPrec,
+                                         unsigned &OutPrec) {
+  OutPrec = 0;
+  switch (Tok.Kind) {
+  case TokKind::Int: {
+    Term T = Term::mkInt(Tok.IntVal);
+    advance();
+    return T;
+  }
+  case TokKind::Var: {
+    std::string Name = Tok.Text;
+    advance();
+    // Each '_' denotes a distinct variable.
+    if (Name == "_")
+      Name = "_G" + std::to_string(FreshVarCounter++);
+    return Term::mkVar(Syms.intern(Name));
+  }
+  case TokKind::Str: {
+    // Strings are lists of character codes.
+    std::string Text = Tok.Text;
+    advance();
+    Term Result = Term::mkAtom(Syms.intern("[]"));
+    SymbolId Dot = Syms.intern(".");
+    for (auto It = Text.rbegin(), E = Text.rend(); It != E; ++It)
+      Result = Term::mkCompound(
+          Dot, {Term::mkInt(static_cast<unsigned char>(*It)),
+                std::move(Result)});
+    return Result;
+  }
+  case TokKind::LParen:
+  case TokKind::LParenF: {
+    advance();
+    unsigned Prec;
+    std::optional<Term> T = parseExpr(1200, Prec);
+    if (!T)
+      return std::nullopt;
+    if (Tok.Kind != TokKind::RParen) {
+      fail("expected ')'");
+      return std::nullopt;
+    }
+    advance();
+    return T;
+  }
+  case TokKind::LBracket:
+    return parseList();
+  case TokKind::LBrace: {
+    advance();
+    if (Tok.Kind == TokKind::RBrace) {
+      advance();
+      return Term::mkAtom(Syms.intern("{}"));
+    }
+    unsigned Prec;
+    std::optional<Term> T = parseExpr(1200, Prec);
+    if (!T)
+      return std::nullopt;
+    if (Tok.Kind != TokKind::RBrace) {
+      fail("expected '}'");
+      return std::nullopt;
+    }
+    advance();
+    return Term::mkCompound(Syms.intern("{}"), {std::move(*T)});
+  }
+  case TokKind::Atom: {
+    std::string Name = Tok.Text;
+    advance();
+    if (Tok.Kind == TokKind::LParenF)
+      return parseArgList(Syms.intern(Name));
+    // Negative integer literal.
+    if (Name == "-" && Tok.Kind == TokKind::Int) {
+      Term T = Term::mkInt(-Tok.IntVal);
+      advance();
+      return T;
+    }
+    // Prefix operator.
+    if (const OpInfo *Op = prefixOp(Name)) {
+      if (Op->Prec <= MaxPrec && peekIsTermStart() &&
+          !(Tok.Kind == TokKind::Atom && infixOp(Tok.Text) &&
+            !prefixOp(Tok.Text))) {
+        unsigned ArgMax =
+            Op->Fixity == OpInfo::Fix::FY ? Op->Prec : Op->Prec - 1;
+        unsigned ArgPrec;
+        std::optional<Term> Arg = parseExpr(ArgMax, ArgPrec);
+        if (!Arg)
+          return std::nullopt;
+        OutPrec = Op->Prec;
+        return Term::mkCompound(Syms.intern(Name), {std::move(*Arg)});
+      }
+    }
+    // Plain atom. If the atom is an operator name used as a term, its
+    // priority is the operator priority; we conservatively report 0,
+    // which accepts slightly more than standard Prolog.
+    return Term::mkAtom(Syms.intern(Name));
+  }
+  case TokKind::End:
+    fail("unexpected '.'");
+    return std::nullopt;
+  case TokKind::Error:
+    fail(Tok.Text);
+    return std::nullopt;
+  default:
+    fail("unexpected token '" + Tok.Text + "'");
+    return std::nullopt;
+  }
+}

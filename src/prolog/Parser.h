@@ -1,0 +1,63 @@
+//===- prolog/Parser.h - Operator-precedence Prolog parser ----------------==//
+///
+/// \file
+/// Parses Prolog source into Terms using the standard operator table
+/// (:-, ;, ->, comma, \+, the 700-level relational operators, arithmetic
+/// at 500/400/200, unary minus). List and curly syntax, strings (as
+/// character-code lists) and negative literals are supported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROLOG_PARSER_H
+#define GAIA_PROLOG_PARSER_H
+
+#include "prolog/Lexer.h"
+#include "prolog/Term.h"
+
+#include <optional>
+
+namespace gaia {
+
+/// Parses a sequence of clause terms (each terminated by '.').
+class Parser {
+public:
+  Parser(std::string_view Source, SymbolTable &Syms);
+
+  /// Parses the next clause term. Returns std::nullopt at end of input or
+  /// on error (check error()).
+  std::optional<Term> parseClause();
+
+  bool hadError() const { return !ErrorMsg.empty(); }
+  const std::string &error() const { return ErrorMsg; }
+  uint32_t errorLine() const { return ErrorLine; }
+
+  /// Operator-table entry (public so the table in the implementation
+  /// file can name it).
+  struct OpInfo {
+    uint16_t Prec;
+    enum class Fix : uint8_t { XFX, XFY, YFX, FY, FX } Fixity;
+  };
+
+private:
+  void advance();
+  bool fail(const std::string &Msg);
+  std::optional<Term> parseExpr(unsigned MaxPrec, unsigned &OutPrec);
+  std::optional<Term> parsePrimary(unsigned MaxPrec, unsigned &OutPrec);
+  std::optional<Term> parseArgList(SymbolId Functor);
+  std::optional<Term> parseList();
+  bool peekIsTermStart() const;
+
+  static const OpInfo *infixOp(const std::string &Name);
+  static const OpInfo *prefixOp(const std::string &Name);
+
+  Lexer Lex;
+  SymbolTable &Syms;
+  Token Tok;
+  std::string ErrorMsg;
+  uint32_t ErrorLine = 0;
+  uint32_t FreshVarCounter = 0;
+};
+
+} // namespace gaia
+
+#endif // GAIA_PROLOG_PARSER_H

@@ -1,0 +1,74 @@
+//===- prolog/Program.cpp ---------------------------------------------------=//
+
+#include "prolog/Program.h"
+
+#include "prolog/Parser.h"
+
+using namespace gaia;
+
+void gaia::flattenConjunction(const Term &T, const SymbolTable &Syms,
+                              std::vector<Term> &Out) {
+  if (T.isCompound() && T.arity() == 2 && Syms.name(T.name()) == ",") {
+    flattenConjunction(T.args()[0], Syms, Out);
+    flattenConjunction(T.args()[1], Syms, Out);
+    return;
+  }
+  Out.push_back(T);
+}
+
+void Program::addClause(Clause C, SymbolTable &Syms) {
+  FunctorId Fn = C.Head.functor(Syms);
+  auto It = Index.find(Fn);
+  if (It == Index.end()) {
+    Index.emplace(Fn, Procs.size());
+    Procs.push_back(Procedure{Fn, {}});
+    Procs.back().Clauses.push_back(std::move(C));
+    return;
+  }
+  Procs[It->second].Clauses.push_back(std::move(C));
+}
+
+uint32_t Program::numClauses() const {
+  uint32_t N = 0;
+  for (const Procedure &P : Procs)
+    N += static_cast<uint32_t>(P.Clauses.size());
+  return N;
+}
+
+std::optional<Program> Program::parse(std::string_view Source,
+                                      SymbolTable &Syms, std::string *Err) {
+  Parser P(Source, Syms);
+  Program Prog;
+  while (true) {
+    std::optional<Term> T = P.parseClause();
+    if (!T) {
+      if (P.hadError()) {
+        if (Err)
+          *Err = "line " + std::to_string(P.errorLine()) + ": " + P.error();
+        return std::nullopt;
+      }
+      break; // end of input
+    }
+    // Directive?
+    if (T->isCompound() && T->arity() == 1 &&
+        Syms.name(T->name()) == ":-") {
+      Prog.Directives.push_back(T->args()[0]);
+      continue;
+    }
+    Clause C;
+    if (T->isCompound() && T->arity() == 2 &&
+        Syms.name(T->name()) == ":-") {
+      C.Head = T->args()[0];
+      flattenConjunction(T->args()[1], Syms, C.Body);
+    } else {
+      C.Head = *T;
+    }
+    if (!C.Head.isCallable()) {
+      if (Err)
+        *Err = "clause head is not callable: " + C.Head.toString(Syms);
+      return std::nullopt;
+    }
+    Prog.addClause(std::move(C), Syms);
+  }
+  return Prog;
+}

@@ -1,0 +1,76 @@
+//===- prolog/Program.h - Parsed Prolog programs --------------------------==//
+///
+/// \file
+/// A Program groups parsed clauses by predicate, preserving source order
+/// (the analyzer's clause iteration order and the paper's metrics depend
+/// on it). Bodies are stored as flattened conjunctions; control
+/// constructs (;, ->, \+) remain single goals and are handled during
+/// normalization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROLOG_PROGRAM_H
+#define GAIA_PROLOG_PROGRAM_H
+
+#include "prolog/Term.h"
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gaia {
+
+/// One clause: Head :- Body1, ..., BodyN (facts have an empty body).
+struct Clause {
+  Term Head;
+  std::vector<Term> Body;
+  uint32_t Line = 0;
+};
+
+/// All clauses of one predicate.
+struct Procedure {
+  FunctorId Fn = InvalidFunctor;
+  std::vector<Clause> Clauses;
+};
+
+/// A parsed program.
+class Program {
+public:
+  /// Parses \p Source. Returns std::nullopt on syntax error, with a
+  /// "line N: message" diagnostic in \p Err if non-null.
+  static std::optional<Program> parse(std::string_view Source,
+                                      SymbolTable &Syms,
+                                      std::string *Err = nullptr);
+
+  const std::vector<Procedure> &procedures() const { return Procs; }
+
+  /// Returns the procedure for \p Fn, or nullptr if undefined.
+  const Procedure *find(FunctorId Fn) const {
+    auto It = Index.find(Fn);
+    return It == Index.end() ? nullptr : &Procs[It->second];
+  }
+
+  /// True if \p Fn has clauses in this program.
+  bool defines(FunctorId Fn) const { return Index.count(Fn) != 0; }
+
+  /// Directives (":- goal" clauses), kept for completeness.
+  const std::vector<Term> &directives() const { return Directives; }
+
+  uint32_t numClauses() const;
+
+private:
+  void addClause(Clause C, SymbolTable &Syms);
+
+  std::vector<Procedure> Procs;
+  std::unordered_map<FunctorId, size_t> Index;
+  std::vector<Term> Directives;
+};
+
+/// Flattens a conjunction term (a,b,c) into a goal list.
+void flattenConjunction(const Term &T, const SymbolTable &Syms,
+                        std::vector<Term> &Out);
+
+} // namespace gaia
+
+#endif // GAIA_PROLOG_PROGRAM_H

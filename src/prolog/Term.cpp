@@ -1,0 +1,55 @@
+//===- prolog/Term.cpp ------------------------------------------------------=//
+
+#include "prolog/Term.h"
+
+#include "support/Debug.h"
+
+using namespace gaia;
+
+FunctorId Term::functor(SymbolTable &Syms) const {
+  switch (Kind) {
+  case TermKind::Var:
+    GAIA_UNREACHABLE("variables have no functor");
+  case TermKind::Int:
+    return Syms.functor(std::to_string(IntVal), 0);
+  case TermKind::Atom:
+    return Syms.functor(Name, 0);
+  case TermKind::Compound:
+    return Syms.functor(Name, arity());
+  }
+  GAIA_UNREACHABLE("covered switch");
+}
+
+std::string Term::toString(const SymbolTable &Syms) const {
+  switch (Kind) {
+  case TermKind::Var:
+    return Syms.name(Name);
+  case TermKind::Int:
+    return std::to_string(IntVal);
+  case TermKind::Atom:
+    return Syms.name(Name);
+  case TermKind::Compound: {
+    // Render lists in bracket notation for readability.
+    if (Syms.name(Name) == "." && arity() == 2) {
+      std::string Out = "[" + Children[0].toString(Syms);
+      const Term *Tail = &Children[1];
+      while (Tail->isCompound() && Syms.name(Tail->name()) == "." &&
+             Tail->arity() == 2) {
+        Out += "," + Tail->args()[0].toString(Syms);
+        Tail = &Tail->args()[1];
+      }
+      if (Tail->isAtom() && Syms.name(Tail->name()) == "[]")
+        return Out + "]";
+      return Out + "|" + Tail->toString(Syms) + "]";
+    }
+    std::string Out = Syms.name(Name) + "(";
+    for (uint32_t I = 0, E = arity(); I != E; ++I) {
+      if (I)
+        Out += ",";
+      Out += Children[I].toString(Syms);
+    }
+    return Out + ")";
+  }
+  }
+  GAIA_UNREACHABLE("covered switch");
+}

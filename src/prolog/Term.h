@@ -1,0 +1,90 @@
+//===- prolog/Term.h - Parse-level Prolog terms ---------------------------==//
+///
+/// \file
+/// Immutable parse-level representation of Prolog terms. Atoms and
+/// compounds carry interned symbol ids; variables carry the interned id
+/// of their (source) name. Terms are value types with vector children.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_PROLOG_TERM_H
+#define GAIA_PROLOG_TERM_H
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+enum class TermKind : uint8_t { Var, Int, Atom, Compound };
+
+/// A Prolog term as produced by the parser.
+class Term {
+public:
+  static Term mkVar(SymbolId Name) {
+    Term T;
+    T.Kind = TermKind::Var;
+    T.Name = Name;
+    return T;
+  }
+  static Term mkInt(int64_t Value) {
+    Term T;
+    T.Kind = TermKind::Int;
+    T.IntVal = Value;
+    return T;
+  }
+  static Term mkAtom(SymbolId Name) {
+    Term T;
+    T.Kind = TermKind::Atom;
+    T.Name = Name;
+    return T;
+  }
+  static Term mkCompound(SymbolId Name, std::vector<Term> Args) {
+    assert(!Args.empty() && "compound term needs arguments; use mkAtom");
+    Term T;
+    T.Kind = TermKind::Compound;
+    T.Name = Name;
+    T.Children = std::move(Args);
+    return T;
+  }
+
+  TermKind kind() const { return Kind; }
+  bool isVar() const { return Kind == TermKind::Var; }
+  bool isInt() const { return Kind == TermKind::Int; }
+  bool isAtom() const { return Kind == TermKind::Atom; }
+  bool isCompound() const { return Kind == TermKind::Compound; }
+  bool isCallable() const { return isAtom() || isCompound(); }
+
+  SymbolId name() const {
+    assert(Kind != TermKind::Int && "integers have no name");
+    return Name;
+  }
+  int64_t intValue() const {
+    assert(Kind == TermKind::Int && "not an integer");
+    return IntVal;
+  }
+  const std::vector<Term> &args() const { return Children; }
+  uint32_t arity() const { return static_cast<uint32_t>(Children.size()); }
+
+  /// Functor id of a callable or integer term (atom => arity 0).
+  /// Integers are interned as arity-0 functors spelled in decimal,
+  /// matching the type-graph view of integer literals. Interns into
+  /// \p Syms; the term itself is not modified.
+  FunctorId functor(SymbolTable &Syms) const;
+
+  /// Renders the term in (mostly canonical) Prolog syntax.
+  std::string toString(const SymbolTable &Syms) const;
+
+private:
+  TermKind Kind = TermKind::Atom;
+  SymbolId Name = InvalidSymbol;
+  int64_t IntVal = 0;
+  std::vector<Term> Children;
+};
+
+} // namespace gaia
+
+#endif // GAIA_PROLOG_TERM_H

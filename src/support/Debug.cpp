@@ -1,0 +1,11 @@
+//===- support/Debug.cpp --------------------------------------------------==//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void gaia::unreachableImpl(const char *Msg, const char *File, unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

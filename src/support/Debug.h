@@ -1,0 +1,28 @@
+//===- support/Debug.h - Assertion and unreachable helpers ---------------===//
+//
+// Part of the GAIA type-graph analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small debugging helpers shared across the analyzer: an `unreachable`
+/// trap with a message, modeled after llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SUPPORT_DEBUG_H
+#define GAIA_SUPPORT_DEBUG_H
+
+namespace gaia {
+
+/// Prints \p Msg together with the source location and aborts. Used to mark
+/// code paths that must never execute.
+[[noreturn]] void unreachableImpl(const char *Msg, const char *File,
+                                  unsigned Line);
+
+} // namespace gaia
+
+#define GAIA_UNREACHABLE(MSG)                                                  \
+  ::gaia::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // GAIA_SUPPORT_DEBUG_H

@@ -1,0 +1,62 @@
+//===- support/StringInterner.cpp ------------------------------------------=//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace gaia;
+
+SymbolTable::SymbolTable() {
+  Cons = functor(".", 2);
+  Nil = functor("[]", 0);
+  Int = functor("$int", 0);
+}
+
+SymbolId SymbolTable::intern(std::string_view Text) {
+  // C++20 heterogeneous lookup on unordered_map with std::string keys
+  // requires a transparent hash; keep it simple and materialize the key.
+  std::string Key(Text);
+  auto It = SymbolMap.find(Key);
+  if (It != SymbolMap.end())
+    return It->second;
+  SymbolId Id = static_cast<SymbolId>(Names.size());
+  Names.push_back(Key);
+  SymbolMap.emplace(std::move(Key), Id);
+  return Id;
+}
+
+FunctorId SymbolTable::functor(SymbolId Sym, uint32_t Arity) {
+  assert(Sym < Names.size() && "functor of unknown symbol");
+  auto Key = std::make_pair(Sym, Arity);
+  auto It = FunctorMap.find(Key);
+  if (It != FunctorMap.end())
+    return It->second;
+  FunctorId Id = static_cast<FunctorId>(Functors.size());
+  Functors.push_back(Key);
+  FunctorMap.emplace(Key, Id);
+  return Id;
+}
+
+FunctorId SymbolTable::functor(std::string_view Name, uint32_t Arity) {
+  return functor(intern(Name), Arity);
+}
+
+std::string SymbolTable::functorString(FunctorId Fn) const {
+  return functorName(Fn) + "/" + std::to_string(functorArity(Fn));
+}
+
+bool SymbolTable::isIntegerLiteral(FunctorId Fn) const {
+  if (functorArity(Fn) != 0)
+    return false;
+  const std::string &Text = functorName(Fn);
+  if (Text.empty())
+    return false;
+  size_t Start = Text[0] == '-' ? 1 : 0;
+  if (Start == Text.size())
+    return false;
+  for (size_t I = Start, E = Text.size(); I != E; ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Text[I])))
+      return false;
+  return true;
+}

@@ -1,0 +1,96 @@
+//===- support/StringInterner.h - Symbol and functor interning ------------==//
+///
+/// \file
+/// The SymbolTable interns strings to dense 32-bit SymbolIds and
+/// (symbol, arity) pairs to dense FunctorIds. Every component of the
+/// analyzer (parser, type graphs, abstract domains) shares one table so
+/// functor identity is a cheap integer comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SUPPORT_STRINGINTERNER_H
+#define GAIA_SUPPORT_STRINGINTERNER_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gaia {
+
+/// Dense id of an interned string.
+using SymbolId = uint32_t;
+/// Dense id of an interned (symbol, arity) pair.
+using FunctorId = uint32_t;
+
+constexpr SymbolId InvalidSymbol = ~0u;
+constexpr FunctorId InvalidFunctor = ~0u;
+
+/// Interns strings and functors. Also pre-interns the handful of functors
+/// the analyzer gives special meaning: '.'/2 (cons), '[]'/0 (nil) and the
+/// reserved '$int'/0 pseudo-functor standing for "any integer".
+class SymbolTable {
+public:
+  SymbolTable();
+
+  /// Interns \p Text, returning its id (stable for the table's lifetime).
+  SymbolId intern(std::string_view Text);
+
+  /// Returns the text of \p Sym.
+  const std::string &name(SymbolId Sym) const { return Names[Sym]; }
+
+  /// Interns the functor \p Sym / \p Arity.
+  FunctorId functor(SymbolId Sym, uint32_t Arity);
+
+  /// Convenience: interns \p Name and then \p Name / \p Arity.
+  FunctorId functor(std::string_view Name, uint32_t Arity);
+
+  /// Returns the symbol of functor \p Fn.
+  SymbolId functorSymbol(FunctorId Fn) const { return Functors[Fn].first; }
+
+  /// Returns the arity of functor \p Fn.
+  uint32_t functorArity(FunctorId Fn) const { return Functors[Fn].second; }
+
+  /// Returns the name text of functor \p Fn.
+  const std::string &functorName(FunctorId Fn) const {
+    return Names[Functors[Fn].first];
+  }
+
+  /// Renders \p Fn as "name/arity" for diagnostics.
+  std::string functorString(FunctorId Fn) const;
+
+  /// '.'/2, the list constructor.
+  FunctorId consFunctor() const { return Cons; }
+  /// '[]'/0, the empty list.
+  FunctorId nilFunctor() const { return Nil; }
+  /// '$int'/0, the reserved pseudo-functor for the Int type.
+  FunctorId intFunctor() const { return Int; }
+
+  /// True if \p Fn is an arity-0 functor whose name spells an integer
+  /// (e.g. '0', '42', '-3'). Such literals are subsumed by the Int type.
+  bool isIntegerLiteral(FunctorId Fn) const;
+
+  /// Number of interned symbols.
+  uint32_t numSymbols() const { return static_cast<uint32_t>(Names.size()); }
+  /// Number of interned functors.
+  uint32_t numFunctors() const {
+    return static_cast<uint32_t>(Functors.size());
+  }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, SymbolId> SymbolMap;
+  std::vector<std::pair<SymbolId, uint32_t>> Functors;
+  std::unordered_map<std::pair<uint32_t, uint32_t>, FunctorId, PairHash>
+      FunctorMap;
+  FunctorId Cons = InvalidFunctor;
+  FunctorId Nil = InvalidFunctor;
+  FunctorId Int = InvalidFunctor;
+};
+
+} // namespace gaia
+
+#endif // GAIA_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,305 @@
+//===- typegraph/GrammarParser.cpp -----------------------------------------=//
+
+#include "typegraph/GrammarParser.h"
+
+#include "typegraph/Normalize.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+using namespace gaia;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  NonTerm, // T, T1, S ...
+  Atom,    // lower-case, quoted, symbolic, integers, []
+  LParen,
+  RParen,
+  Comma,
+  Bar,
+  Dot,
+  Def, // ::=
+  End,
+  Error,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+};
+
+class GrammarLexer {
+public:
+  explicit GrammarLexer(std::string_view Text) : Text(Text) {}
+
+  Token next() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return {TokKind::End, ""};
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      return {TokKind::LParen, "("};
+    }
+    if (C == ')') {
+      ++Pos;
+      return {TokKind::RParen, ")"};
+    }
+    if (C == ',') {
+      ++Pos;
+      return {TokKind::Comma, ","};
+    }
+    if (C == '|') {
+      ++Pos;
+      return {TokKind::Bar, "|"};
+    }
+    if (C == '.') {
+      ++Pos;
+      return {TokKind::Dot, "."};
+    }
+    if (Text.compare(Pos, 3, "::=") == 0) {
+      Pos += 3;
+      return {TokKind::Def, "::="};
+    }
+    if (C == '\'') {
+      size_t Start = ++Pos;
+      while (Pos < Text.size() && Text[Pos] != '\'')
+        ++Pos;
+      if (Pos >= Text.size())
+        return {TokKind::Error, "unterminated quoted atom"};
+      std::string Name(Text.substr(Start, Pos - Start));
+      ++Pos;
+      return {TokKind::Atom, Name};
+    }
+    if (Text.compare(Pos, 2, "[]") == 0) {
+      Pos += 2;
+      return {TokKind::Atom, "[]"};
+    }
+    if (std::isupper(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      return {TokKind::NonTerm, std::string(Text.substr(Start, Pos - Start))};
+    }
+    if (std::islower(static_cast<unsigned char>(C)) ||
+        std::isdigit(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      return {TokKind::Atom, std::string(Text.substr(Start, Pos - Start))};
+    }
+    // Symbolic atoms like +, *, -, $empty.
+    static const std::string SymChars = "+-*/\\^<>=~:?@#&$";
+    if (SymChars.find(C) != std::string::npos) {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (SymChars.find(Text[Pos]) != std::string::npos ||
+              std::isalnum(static_cast<unsigned char>(Text[Pos]))))
+        ++Pos;
+      return {TokKind::Atom, std::string(Text.substr(Start, Pos - Start))};
+    }
+    return {TokKind::Error, std::string("unexpected character '") + C + "'"};
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+class GrammarParserImpl {
+public:
+  GrammarParserImpl(std::string_view Text, SymbolTable &Syms)
+      : Lexer(Text), Syms(Syms) {
+    advance();
+  }
+
+  std::optional<TypeGraph> parse(std::string *Err) {
+    // First pass requires rule heads before references; we build or-nodes
+    // for nonterminals lazily instead, then check all were defined.
+    while (Tok.Kind != TokKind::End) {
+      if (!parseRule()) {
+        if (Err)
+          *Err = Error;
+        return std::nullopt;
+      }
+    }
+    if (RuleOrder.empty()) {
+      if (Err)
+        *Err = "no rules";
+      return std::nullopt;
+    }
+    for (const auto &[Name, Info] : NonTerms)
+      if (!Info.Defined) {
+        if (Err)
+          *Err = "undefined nonterminal " + Name;
+        return std::nullopt;
+      }
+    G.setRoot(NonTerms.at(RuleOrder.front()).Node);
+    return normalizeGraph(G, Syms);
+  }
+
+private:
+  struct NTInfo {
+    NodeId Node = InvalidNode;
+    bool Defined = false;
+  };
+
+  void advance() { Tok = Lexer.next(); }
+
+  bool fail(const std::string &Msg) {
+    Error = Msg;
+    return false;
+  }
+
+  NodeId orNodeFor(const std::string &Name) {
+    auto [It, Inserted] = NonTerms.emplace(Name, NTInfo{});
+    if (Inserted)
+      It->second.Node = G.addOr({});
+    return It->second.Node;
+  }
+
+  bool parseRule() {
+    if (Tok.Kind != TokKind::NonTerm)
+      return fail("expected nonterminal at rule start, got '" + Tok.Text +
+                  "'");
+    std::string Head = Tok.Text;
+    advance();
+    if (Tok.Kind != TokKind::Def)
+      return fail("expected ::=");
+    advance();
+    NodeId Or = orNodeFor(Head);
+    NTInfo &Info = NonTerms.at(Head);
+    if (Info.Defined)
+      return fail("duplicate rule for " + Head);
+    Info.Defined = true;
+    RuleOrder.push_back(Head);
+
+    std::vector<NodeId> Alts;
+    while (true) {
+      NodeId Alt;
+      if (!parseAlt(Alt))
+        return false;
+      if (Alt != InvalidNode)
+        Alts.push_back(Alt);
+      if (Tok.Kind == TokKind::Bar) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (Tok.Kind != TokKind::Dot)
+      return fail("expected '.' at end of rule");
+    advance();
+    G.node(Or).Succs = std::move(Alts);
+    return true;
+  }
+
+  /// Parses one alternative: Any | Int | atom | atom(args). Returns
+  /// InvalidNode (with success) for the $empty marker.
+  bool parseAlt(NodeId &Result) {
+    if (Tok.Kind == TokKind::NonTerm) {
+      if (Tok.Text == "Any") {
+        Result = G.addAny();
+        advance();
+        return true;
+      }
+      if (Tok.Text == "Int") {
+        Result = G.addInt();
+        advance();
+        return true;
+      }
+      return fail("nonterminal '" + Tok.Text +
+                  "' cannot be a whole alternative (wrap it: the paper's "
+                  "notation allows it, write the referenced rules inline)");
+    }
+    if (Tok.Kind != TokKind::Atom)
+      return fail("expected alternative, got '" + Tok.Text + "'");
+    std::string Name = Tok.Text;
+    advance();
+    if (Name == "$empty") {
+      Result = InvalidNode;
+      return true;
+    }
+    std::vector<NodeId> Args;
+    if (Tok.Kind == TokKind::LParen) {
+      advance();
+      while (true) {
+        NodeId Arg;
+        if (!parseArg(Arg))
+          return false;
+        Args.push_back(Arg);
+        if (Tok.Kind == TokKind::Comma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (Tok.Kind != TokKind::RParen)
+        return fail("expected ')'");
+      advance();
+    }
+    FunctorId Fn = Name == "cons" && Args.size() == 2
+                       ? Syms.consFunctor()
+                       : Syms.functor(Name, static_cast<uint32_t>(Args.size()));
+    Result = G.addFunc(Fn, std::move(Args));
+    return true;
+  }
+
+  /// Parses an argument position: Any | Int | NonTerm | nested term.
+  bool parseArg(NodeId &Result) {
+    if (Tok.Kind == TokKind::NonTerm) {
+      if (Tok.Text == "Any") {
+        NodeId Leaf = G.addAny();
+        Result = G.addOr({Leaf});
+        advance();
+        return true;
+      }
+      if (Tok.Text == "Int") {
+        NodeId Leaf = G.addInt();
+        Result = G.addOr({Leaf});
+        advance();
+        return true;
+      }
+      Result = orNodeFor(Tok.Text);
+      advance();
+      return true;
+    }
+    // Nested functor term: wrap in an anonymous or-vertex.
+    NodeId Alt;
+    if (!parseAlt(Alt))
+      return false;
+    if (Alt == InvalidNode)
+      return fail("$empty is not a valid argument");
+    Result = G.addOr({Alt});
+    return true;
+  }
+
+  GrammarLexer Lexer;
+  SymbolTable &Syms;
+  Token Tok;
+  std::string Error;
+  TypeGraph G;
+  std::map<std::string, NTInfo> NonTerms;
+  std::vector<std::string> RuleOrder;
+};
+
+} // namespace
+
+std::optional<TypeGraph> gaia::parseGrammar(std::string_view Text,
+                                            SymbolTable &Syms,
+                                            std::string *Err) {
+  GrammarParserImpl P(Text, Syms);
+  return P.parse(Err);
+}

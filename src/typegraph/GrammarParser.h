@@ -1,0 +1,38 @@
+//===- typegraph/GrammarParser.h - Parse tree-grammar notation ------------==//
+///
+/// \file
+/// Parses the regular-tree-grammar notation used throughout the paper
+/// (and by GrammarPrinter) into a normalized type graph. This makes
+/// golden tests readable: expected analysis results are written exactly
+/// as the paper prints them, e.g.
+///
+///   T ::= [] | cons(T1,T).
+///   T1 ::= c(Any) | d(Any).
+///
+/// Conventions: nonterminals start with an upper-case letter; `Any` and
+/// `Int` are reserved leaves; `cons` means '.'/2; the first rule is the
+/// root. Nested functor terms are allowed as arguments and denote
+/// anonymous single-alternative nonterminals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_GRAMMARPARSER_H
+#define GAIA_TYPEGRAPH_GRAMMARPARSER_H
+
+#include "typegraph/TypeGraph.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gaia {
+
+/// Parses \p Text; returns the normalized graph or std::nullopt (with a
+/// message in \p Err if non-null) on a syntax error.
+std::optional<TypeGraph> parseGrammar(std::string_view Text,
+                                      SymbolTable &Syms,
+                                      std::string *Err = nullptr);
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_GRAMMARPARSER_H

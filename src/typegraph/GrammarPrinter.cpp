@@ -1,0 +1,163 @@
+//===- typegraph/GrammarPrinter.cpp ----------------------------------------=//
+
+#include "typegraph/GrammarPrinter.h"
+
+#include "support/Debug.h"
+#include "typegraph/Normalize.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+using namespace gaia;
+
+namespace {
+
+static std::string atomText(const SymbolTable &Syms, FunctorId Fn) {
+  const std::string &Name = Syms.functorName(Fn);
+  if (Fn == Syms.consFunctor())
+    return "cons";
+  if (Name == "[]" || Name == "{}" || Name == "!" || Name == ";")
+    return Name;
+  bool Simple = !Name.empty() &&
+                (std::islower(static_cast<unsigned char>(Name[0])) ||
+                 std::isdigit(static_cast<unsigned char>(Name[0])) ||
+                 Name[0] == '-');
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' && C != '-')
+      Simple = false;
+  if (Simple)
+    return Name;
+  return "'" + Name + "'";
+}
+
+/// Prints the minimal automaton of a graph as a tree grammar, sharing
+/// nonterminals exactly the way the paper's figures do.
+class Printer {
+public:
+  Printer(const TypeGraph &G, const SymbolTable &Syms)
+      : A(buildAutomaton(G, Syms)), Syms(Syms) {}
+
+  std::string run() {
+    if (A.Empty)
+      return "T ::= $empty.\n";
+    assignNames();
+    std::ostringstream OS;
+    for (uint32_t S : RuleOrder) {
+      const GrammarAutomaton::State &St = A.States[S];
+      OS << Names[S] << " ::= ";
+      bool First = true;
+      if (St.IsAny) {
+        OS << "Any";
+        First = false;
+      }
+      if (St.HasInt) {
+        if (!First)
+          OS << " | ";
+        OS << "Int";
+        First = false;
+      }
+      for (const auto &[Fn, Args] : St.Trans) {
+        if (!First)
+          OS << " | ";
+        First = false;
+        OS << altText(Fn, Args);
+      }
+      if (First)
+        OS << "$empty";
+      OS << ".\n";
+    }
+    return OS.str();
+  }
+
+  std::string runInline() {
+    if (A.Empty)
+      return "$empty";
+    const GrammarAutomaton::State &Root = A.States[A.Root];
+    if (Root.IsAny)
+      return "Any";
+    if (Root.HasInt && Root.Trans.empty())
+      return "Int";
+    std::string Text = run();
+    std::string Out;
+    for (char C : Text) {
+      if (C == '\n') {
+        if (!Out.empty() && Out.back() != ' ')
+          Out += "  ";
+        continue;
+      }
+      Out += C;
+    }
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    return Out;
+  }
+
+private:
+  /// True if references to state \p S print inline (Any / Int states).
+  bool isInline(uint32_t S) const {
+    const GrammarAutomaton::State &St = A.States[S];
+    return St.IsAny || (St.HasInt && St.Trans.empty());
+  }
+
+  void assignNames() {
+    Names.assign(A.States.size(), "");
+    // Breadth-first from the root for stable, readable numbering.
+    std::vector<uint32_t> Queue{A.Root};
+    std::vector<bool> Seen(A.States.size(), false);
+    Seen[A.Root] = true;
+    unsigned Counter = 0;
+    for (size_t I = 0; I != Queue.size(); ++I) {
+      uint32_t S = Queue[I];
+      if (S == A.Root || !isInline(S)) {
+        Names[S] = Counter == 0 ? "T" : "T" + std::to_string(Counter);
+        ++Counter;
+        RuleOrder.push_back(S);
+      }
+      for (const auto &[Fn, Args] : A.States[S].Trans)
+        for (uint32_t Arg : Args)
+          if (!Seen[Arg]) {
+            Seen[Arg] = true;
+            Queue.push_back(Arg);
+          }
+    }
+  }
+
+  std::string refText(uint32_t S) const {
+    if (isInline(S) && S != A.Root) {
+      const GrammarAutomaton::State &St = A.States[S];
+      return St.IsAny ? "Any" : "Int";
+    }
+    return Names[S];
+  }
+
+  std::string altText(FunctorId Fn, const std::vector<uint32_t> &Args) {
+    std::string Text = atomText(Syms, Fn);
+    if (Args.empty())
+      return Text;
+    Text += "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Text += ",";
+      Text += refText(Args[I]);
+    }
+    Text += ")";
+    return Text;
+  }
+
+  GrammarAutomaton A;
+  const SymbolTable &Syms;
+  std::vector<std::string> Names;
+  std::vector<uint32_t> RuleOrder;
+};
+
+} // namespace
+
+std::string gaia::printGrammar(const TypeGraph &G, const SymbolTable &Syms) {
+  return Printer(G, Syms).run();
+}
+
+std::string gaia::printGrammarInline(const TypeGraph &G,
+                                     const SymbolTable &Syms) {
+  return Printer(G, Syms).runInline();
+}

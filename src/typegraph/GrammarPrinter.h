@@ -1,0 +1,34 @@
+//===- typegraph/GrammarPrinter.h - Display graphs as tree grammars -------==//
+///
+/// \file
+/// Renders a type graph in the regular-tree-grammar notation the paper
+/// uses to present results (Section 6.7):
+///
+///   T ::= [] | cons(Any,T).
+///   T1 ::= c(Any) | d(Any).
+///
+/// '.'/2 is displayed as `cons`, matching the paper. Or-vertices whose
+/// only alternative is Any (resp. Int) are inlined as `Any` (`Int`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_GRAMMARPRINTER_H
+#define GAIA_TYPEGRAPH_GRAMMARPRINTER_H
+
+#include "typegraph/TypeGraph.h"
+
+#include <string>
+
+namespace gaia {
+
+/// Renders \p G as a tree grammar; the first rule is the root. The empty
+/// graph prints as "T ::= $empty.".
+std::string printGrammar(const TypeGraph &G, const SymbolTable &Syms);
+
+/// Renders a single alternative line (no trailing newline), used by
+/// reports that show one argument per line.
+std::string printGrammarInline(const TypeGraph &G, const SymbolTable &Syms);
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_GRAMMARPRINTER_H

@@ -1,0 +1,269 @@
+//===- typegraph/GraphOps.cpp ----------------------------------------------=//
+
+#include "typegraph/GraphOps.h"
+
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace gaia;
+
+namespace {
+
+/// Leaf/functor constituents of a vertex position, looking through nested
+/// or-vertices. On normalized graphs this is just the successor list of an
+/// or-vertex, but the helper is robust to raw product output too.
+struct Constituents {
+  bool IsAny = false;
+  bool HasInt = false;
+  std::vector<NodeId> Funcs;
+};
+
+static Constituents constituentsOf(const TypeGraph &G, NodeId V) {
+  Constituents C;
+  std::vector<NodeId> Stack{V};
+  std::unordered_set<NodeId> SeenOr;
+  while (!Stack.empty()) {
+    NodeId X = Stack.back();
+    Stack.pop_back();
+    const TGNode &N = G.node(X);
+    switch (N.Kind) {
+    case NodeKind::Any:
+      C.IsAny = true;
+      break;
+    case NodeKind::Int:
+      C.HasInt = true;
+      break;
+    case NodeKind::Func:
+      C.Funcs.push_back(X);
+      break;
+    case NodeKind::Or:
+      if (SeenOr.insert(X).second)
+        for (NodeId S : N.Succs)
+          Stack.push_back(S);
+      break;
+    }
+  }
+  return C;
+}
+
+/// Inclusion check over the product of reachable position pairs. On
+/// normalized (deterministic, pruned) graphs the local condition at every
+/// reachable pair is necessary and sufficient: every vertex is productive,
+/// so a local failure always has a concrete term witness.
+class InclusionChecker {
+public:
+  InclusionChecker(const TypeGraph &G1, const TypeGraph &G2,
+                   const SymbolTable &Syms)
+      : G1(G1), G2(G2), Syms(Syms) {}
+
+  bool check(NodeId V1, NodeId V2) {
+    auto Key = std::make_pair(V1, V2);
+    if (!Visited.insert(Key).second)
+      return true;
+    Constituents C1 = constituentsOf(G1, V1);
+    Constituents C2 = constituentsOf(G2, V2);
+    if (C2.IsAny)
+      return true;
+    if (C1.IsAny)
+      return false;
+    if (C1.HasInt && !C2.HasInt)
+      return false;
+    for (NodeId F1 : C1.Funcs) {
+      FunctorId Fn = G1.node(F1).Fn;
+      if (C2.HasInt && Syms.isIntegerLiteral(Fn))
+        continue;
+      NodeId Match = InvalidNode;
+      for (NodeId F2 : C2.Funcs)
+        if (G2.node(F2).Fn == Fn) {
+          Match = F2;
+          break;
+        }
+      if (Match == InvalidNode)
+        return false;
+      const TGNode &N1 = G1.node(F1);
+      const TGNode &N2 = G2.node(Match);
+      assert(N1.Succs.size() == N2.Succs.size() && "arity mismatch");
+      for (size_t J = 0, E = N1.Succs.size(); J != E; ++J)
+        if (!check(N1.Succs[J], N2.Succs[J]))
+          return false;
+    }
+    return true;
+  }
+
+private:
+  const TypeGraph &G1;
+  const TypeGraph &G2;
+  const SymbolTable &Syms;
+  std::unordered_set<std::pair<NodeId, NodeId>, PairHash> Visited;
+};
+
+} // namespace
+
+bool gaia::graphIncludes(const TypeGraph &G2, const TypeGraph &G1,
+                         const SymbolTable &Syms) {
+  if (G1.isBottomGraph())
+    return true;
+  if (G2.isBottomGraph())
+    return false;
+  InclusionChecker C(G1, G2, Syms);
+  return C.check(G1.root(), G2.root());
+}
+
+bool gaia::vertexIncludes(const TypeGraph &G2, NodeId V2, const TypeGraph &G1,
+                          NodeId V1, const SymbolTable &Syms) {
+  InclusionChecker C(G1, G2, Syms);
+  return C.check(V1, V2);
+}
+
+bool gaia::graphEquals(const TypeGraph &A, const TypeGraph &B,
+                       const SymbolTable &Syms) {
+  return graphIncludes(A, B, Syms) && graphIncludes(B, A, Syms);
+}
+
+NodeId gaia::copySubgraph(const TypeGraph &From, NodeId V, TypeGraph &Out) {
+  std::unordered_map<NodeId, NodeId> Memo;
+  // Iterative two-phase copy: create all reachable nodes, then wire edges.
+  std::vector<NodeId> Order;
+  std::vector<NodeId> Stack{V};
+  while (!Stack.empty()) {
+    NodeId X = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(X))
+      continue;
+    const TGNode &N = From.node(X);
+    NodeId Copy = InvalidNode;
+    switch (N.Kind) {
+    case NodeKind::Any:
+      Copy = Out.addAny();
+      break;
+    case NodeKind::Int:
+      Copy = Out.addInt();
+      break;
+    case NodeKind::Func:
+      Copy = Out.addFunc(N.Fn, {});
+      break;
+    case NodeKind::Or:
+      Copy = Out.addOr({});
+      break;
+    }
+    Memo.emplace(X, Copy);
+    Order.push_back(X);
+    for (NodeId S : N.Succs)
+      Stack.push_back(S);
+  }
+  for (NodeId X : Order) {
+    std::vector<NodeId> Succs;
+    Succs.reserve(From.node(X).Succs.size());
+    for (NodeId S : From.node(X).Succs)
+      Succs.push_back(Memo.at(S));
+    Out.node(Memo.at(X)).Succs = std::move(Succs);
+  }
+  return Memo.at(V);
+}
+
+namespace {
+
+/// Product construction for intersection.
+class Intersector {
+public:
+  Intersector(const TypeGraph &G1, const TypeGraph &G2,
+              const SymbolTable &Syms)
+      : G1(G1), G2(G2), Syms(Syms) {}
+
+  NodeId intersect(NodeId V1, NodeId V2) {
+    auto Key = std::make_pair(V1, V2);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+    NodeId Or = Out.addOr({});
+    Memo.emplace(Key, Or);
+
+    Constituents C1 = constituentsOf(G1, V1);
+    Constituents C2 = constituentsOf(G2, V2);
+    std::vector<NodeId> Children;
+    if (C1.IsAny) {
+      appendCopyOfConstituents(C2, G2, Children);
+    } else if (C2.IsAny) {
+      appendCopyOfConstituents(C1, G1, Children);
+    } else {
+      if (C1.HasInt && C2.HasInt)
+        Children.push_back(Out.addInt());
+      if (C1.HasInt)
+        for (NodeId F2 : C2.Funcs)
+          if (Syms.isIntegerLiteral(G2.node(F2).Fn))
+            Children.push_back(Out.addFunc(G2.node(F2).Fn, {}));
+      if (C2.HasInt)
+        for (NodeId F1 : C1.Funcs)
+          if (Syms.isIntegerLiteral(G1.node(F1).Fn))
+            Children.push_back(Out.addFunc(G1.node(F1).Fn, {}));
+      for (NodeId F1 : C1.Funcs)
+        for (NodeId F2 : C2.Funcs) {
+          const TGNode &N1 = G1.node(F1);
+          const TGNode &N2 = G2.node(F2);
+          if (N1.Fn != N2.Fn)
+            continue;
+          std::vector<NodeId> Args;
+          Args.reserve(N1.Succs.size());
+          for (size_t J = 0, E = N1.Succs.size(); J != E; ++J)
+            Args.push_back(intersect(N1.Succs[J], N2.Succs[J]));
+          Children.push_back(Out.addFunc(N1.Fn, std::move(Args)));
+        }
+    }
+    Out.node(Or).Succs = std::move(Children);
+    return Or;
+  }
+
+  TypeGraph take(NodeId Root) {
+    Out.setRoot(Root);
+    return std::move(Out);
+  }
+
+private:
+  void appendCopyOfConstituents(const Constituents &C, const TypeGraph &Src,
+                                std::vector<NodeId> &Children) {
+    if (C.IsAny) {
+      Children.push_back(Out.addAny());
+      return;
+    }
+    if (C.HasInt)
+      Children.push_back(Out.addInt());
+    for (NodeId F : C.Funcs)
+      Children.push_back(copySubgraph(Src, F, Out));
+  }
+
+  const TypeGraph &G1;
+  const TypeGraph &G2;
+  const SymbolTable &Syms;
+  TypeGraph Out;
+  std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> Memo;
+};
+
+} // namespace
+
+TypeGraph gaia::graphIntersect(const TypeGraph &G1, const TypeGraph &G2,
+                               const SymbolTable &Syms,
+                               const NormalizeOptions &Opts) {
+  if (G1.isBottomGraph() || G2.isBottomGraph())
+    return TypeGraph::makeBottom();
+  Intersector I(G1, G2, Syms);
+  NodeId Root = I.intersect(G1.root(), G2.root());
+  TypeGraph Raw = I.take(Root);
+  return normalizeGraph(Raw, Syms, Opts);
+}
+
+TypeGraph gaia::graphUnion(const TypeGraph &G1, const TypeGraph &G2,
+                           const SymbolTable &Syms,
+                           const NormalizeOptions &Opts) {
+  if (G1.isBottomGraph())
+    return normalizeGraph(G2, Syms, Opts);
+  if (G2.isBottomGraph())
+    return normalizeGraph(G1, Syms, Opts);
+  TypeGraph Out;
+  NodeId R1 = copySubgraph(G1, G1.root(), Out);
+  NodeId R2 = copySubgraph(G2, G2.root(), Out);
+  Out.setRoot(Out.addOr({R1, R2}));
+  return normalizeGraph(Out, Syms, Opts);
+}

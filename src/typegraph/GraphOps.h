@@ -1,0 +1,57 @@
+//===- typegraph/GraphOps.h - Inclusion, intersection, union --------------==//
+///
+/// \file
+/// The three primitive operations of Section 6.9:
+///   - g1 <= g2  : denotation inclusion (exact on normalized graphs),
+///   - g1 /\ g2  : intersection (used for abstract unification, since type
+///                 graphs are downward closed under instantiation),
+///   - g1 \/ g2  : union (a direct construction followed by
+///                 normalization).
+///
+/// All binary constructions return normalized graphs. Inclusion requires
+/// the right-hand side to be deterministic (principal-functor restricted)
+/// and both sides pruned of unproductive vertices — which normalization
+/// guarantees; every graph handled by the analyzer is normalized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_GRAPHOPS_H
+#define GAIA_TYPEGRAPH_GRAPHOPS_H
+
+#include "typegraph/Normalize.h"
+#include "typegraph/TypeGraph.h"
+
+namespace gaia {
+
+/// True if Cc(G1) is a subset of Cc(G2).
+bool graphIncludes(const TypeGraph &G2, const TypeGraph &G1,
+                   const SymbolTable &Syms);
+
+/// True if the denotation of vertex \p V1 of \p G1 is included in the
+/// denotation of vertex \p V2 of \p G2. \p G1 and \p G2 may alias (the
+/// widening compares vertices of one graph).
+bool vertexIncludes(const TypeGraph &G2, NodeId V2, const TypeGraph &G1,
+                    NodeId V1, const SymbolTable &Syms);
+
+/// Semantic equality (inclusion both ways).
+bool graphEquals(const TypeGraph &A, const TypeGraph &B,
+                 const SymbolTable &Syms);
+
+/// Returns a normalized G3 with Cc(G1) ∩ Cc(G2) ⊆ Cc(G3) (exact except
+/// when a cap fires).
+TypeGraph graphIntersect(const TypeGraph &G1, const TypeGraph &G2,
+                         const SymbolTable &Syms,
+                         const NormalizeOptions &Opts = {});
+
+/// Returns a normalized G3 with Cc(G1) ∪ Cc(G2) ⊆ Cc(G3).
+TypeGraph graphUnion(const TypeGraph &G1, const TypeGraph &G2,
+                     const SymbolTable &Syms,
+                     const NormalizeOptions &Opts = {});
+
+/// Deep-copies the structure reachable from \p V in \p From into \p Out,
+/// returning the id of the copy. Used by product constructions.
+NodeId copySubgraph(const TypeGraph &From, NodeId V, TypeGraph &Out);
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_GRAPHOPS_H

@@ -1,0 +1,475 @@
+//===- typegraph/Normalize.cpp ---------------------------------------------=//
+
+#include "typegraph/Normalize.h"
+
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace gaia;
+
+namespace {
+
+/// Sentinel constituents inside state keys. Any two Any leaves (resp. Int
+/// leaves) are interchangeable, so they canonicalize to one marker each;
+/// nullary functor vertices are canonicalized to their functor id (high
+/// bit set) because their denotation is determined by the functor alone.
+/// This canonicalization is what makes the subset test of the collapsing
+/// union meaningful across graphs.
+constexpr NodeId AnyMarker = 0xFFFFFFFE;
+constexpr NodeId IntMarker = 0xFFFFFFFD;
+constexpr NodeId NullaryFlag = 0x80000000;
+
+static bool isNullaryMarker(NodeId V) {
+  return (V & NullaryFlag) != 0 && V != AnyMarker && V != IntMarker;
+}
+
+/// Deterministic-automaton state produced by the subset construction.
+struct DetState {
+  bool IsAny = false;
+  bool HasInt = false;
+  /// Sorted by functor (name, arity); each entry maps a functor to the
+  /// ids of the argument states.
+  std::vector<std::pair<FunctorId, std::vector<uint32_t>>> Trans;
+  bool Productive = false;
+};
+
+/// Expands \p Roots through nested or-vertices into leaf/functor
+/// constituents and canonicalizes into a sorted unique key.
+static std::vector<NodeId> closureKey(const TypeGraph &G,
+                                      const std::vector<NodeId> &Roots) {
+  std::vector<NodeId> Key;
+  std::vector<NodeId> Stack(Roots.begin(), Roots.end());
+  std::vector<bool> SeenOr(G.numNodes(), false);
+  bool HasAny = false, HasInt = false;
+  while (!Stack.empty()) {
+    NodeId V = Stack.back();
+    Stack.pop_back();
+    const TGNode &N = G.node(V);
+    switch (N.Kind) {
+    case NodeKind::Any:
+      HasAny = true;
+      break;
+    case NodeKind::Int:
+      HasInt = true;
+      break;
+    case NodeKind::Func:
+      if (N.Succs.empty()) {
+        assert((N.Fn & NullaryFlag) == 0 && "functor id overflows marker");
+        Key.push_back(N.Fn | NullaryFlag);
+      } else {
+        Key.push_back(V);
+      }
+      break;
+    case NodeKind::Or:
+      if (!SeenOr[V]) {
+        SeenOr[V] = true;
+        for (NodeId S : N.Succs)
+          Stack.push_back(S);
+      }
+      break;
+    }
+  }
+  if (HasAny)
+    return {AnyMarker};
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+  if (HasInt)
+    Key.push_back(IntMarker);
+  return Key;
+}
+
+/// Shared machinery for both subset constructions: state storage,
+/// transition computation, productivity pruning and the unfolding step.
+class DetBuilderBase {
+public:
+  DetBuilderBase(const TypeGraph &G, const SymbolTable &Syms,
+                 const NormalizeOptions &Opts)
+      : G(G), Syms(Syms), Opts(Opts) {}
+
+protected:
+  /// Computes the functor transitions of state \p Id from its key. Each
+  /// argument state is requested through \p ArgState, which differs
+  /// between the exact and the collapsing construction.
+  template <typename ArgStateFn>
+  void computeTransitions(uint32_t Id, ArgStateFn ArgState) {
+    std::vector<NodeId> Key = StateKeys[Id];
+    if (!Key.empty() && Key[0] == AnyMarker) {
+      States[Id].IsAny = true;
+      return;
+    }
+    bool HasInt = !Key.empty() && Key.back() == IntMarker;
+
+    // Group functor constituents by functor id.
+    std::unordered_map<FunctorId, std::vector<NodeId>> Groups;
+    std::vector<FunctorId> Order;
+    for (NodeId V : Key) {
+      if (V == IntMarker)
+        continue;
+      FunctorId Fn =
+          isNullaryMarker(V) ? (V & ~NullaryFlag) : G.node(V).Fn;
+      if (HasInt && Syms.isIntegerLiteral(Fn))
+        continue; // absorbed by Int
+      auto [It, Inserted] = Groups.emplace(Fn, std::vector<NodeId>{});
+      if (Inserted)
+        Order.push_back(Fn);
+      if (!isNullaryMarker(V))
+        It->second.push_back(V);
+    }
+    std::sort(Order.begin(), Order.end(), [&](FunctorId A, FunctorId B) {
+      const std::string &NA = Syms.functorName(A);
+      const std::string &NB = Syms.functorName(B);
+      if (NA != NB)
+        return NA < NB;
+      return Syms.functorArity(A) < Syms.functorArity(B);
+    });
+
+    // Or-degree cap of Section 9.
+    uint32_t Degree = static_cast<uint32_t>(Order.size()) + (HasInt ? 1 : 0);
+    if (Opts.OrCap != 0 && Degree > Opts.OrCap) {
+      States[Id].IsAny = true;
+      return;
+    }
+
+    std::vector<std::pair<FunctorId, std::vector<uint32_t>>> Trans;
+    for (FunctorId Fn : Order) {
+      uint32_t Arity = Syms.functorArity(Fn);
+      std::vector<uint32_t> Args;
+      Args.reserve(Arity);
+      for (uint32_t J = 0; J != Arity; ++J) {
+        std::vector<NodeId> ArgRoots;
+        for (NodeId V : Groups[Fn])
+          ArgRoots.push_back(G.node(V).Succs[J]);
+        Args.push_back(ArgState(ArgRoots));
+      }
+      Trans.emplace_back(Fn, std::move(Args));
+    }
+    States[Id].HasInt = HasInt;
+    States[Id].Trans = std::move(Trans);
+  }
+
+  void computeProductivity() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (DetState &S : States) {
+        if (S.Productive)
+          continue;
+        bool Prod = S.IsAny || S.HasInt;
+        if (!Prod) {
+          for (const auto &[Fn, Args] : S.Trans) {
+            bool AllProd = true;
+            for (uint32_t A : Args)
+              if (!States[A].Productive) {
+                AllProd = false;
+                break;
+              }
+            if (AllProd) {
+              Prod = true;
+              break;
+            }
+          }
+        }
+        if (Prod) {
+          S.Productive = true;
+          Changed = true;
+        }
+      }
+    }
+    for (DetState &S : States) {
+      std::erase_if(S.Trans, [&](const auto &T) {
+        for (uint32_t A : T.second)
+          if (!States[A].Productive)
+            return true;
+        return false;
+      });
+    }
+  }
+
+  NodeId unfold(uint32_t St, TypeGraph &Out,
+                std::vector<std::pair<uint32_t, NodeId>> &Path) {
+    for (const auto &[S, N] : Path)
+      if (S == St)
+        return N; // back edge to an ancestor or-vertex
+    const DetState &State = States[St];
+    NodeId Or = Out.addOr({});
+    std::vector<NodeId> Children;
+    if (State.IsAny || Out.numNodes() > Opts.MaxNodes ||
+        (Opts.MaxDepth != 0 && Path.size() >= Opts.MaxDepth)) {
+      Children.push_back(Out.addAny());
+      Out.node(Or).Succs = std::move(Children);
+      return Or;
+    }
+    Path.emplace_back(St, Or);
+    if (State.HasInt)
+      Children.push_back(Out.addInt());
+    for (const auto &[Fn, Args] : State.Trans) {
+      std::vector<NodeId> ArgOrs;
+      ArgOrs.reserve(Args.size());
+      for (uint32_t A : Args)
+        ArgOrs.push_back(unfold(A, Out, Path));
+      Children.push_back(Out.addFunc(Fn, std::move(ArgOrs)));
+    }
+    Path.pop_back();
+    Out.node(Or).Succs = std::move(Children);
+    return Or;
+  }
+
+  /// Merges language-equivalent states (Myhill-Nerode partition
+  /// refinement on the deterministic automaton). Keeps the graphs the
+  /// analysis manipulates canonical and small — the paper's central
+  /// engineering concern.
+  uint32_t minimize(uint32_t Root) {
+    // Initial partition: by (IsAny, HasInt, functor list).
+    std::map<std::vector<uint64_t>, uint32_t> BlockIds;
+    std::vector<uint32_t> Block(States.size(), 0);
+    auto InitKey = [&](const DetState &S) {
+      std::vector<uint64_t> Key;
+      Key.push_back(S.IsAny ? 1 : 0);
+      Key.push_back(S.HasInt ? 1 : 0);
+      for (const auto &[Fn, Args] : S.Trans)
+        Key.push_back(Fn);
+      return Key;
+    };
+    for (size_t I = 0; I != States.size(); ++I) {
+      auto Key = InitKey(States[I]);
+      auto [It, Inserted] =
+          BlockIds.emplace(Key, static_cast<uint32_t>(BlockIds.size()));
+      Block[I] = It->second;
+    }
+    // Refine until stable.
+    while (true) {
+      std::map<std::vector<uint64_t>, uint32_t> NextIds;
+      std::vector<uint32_t> Next(States.size(), 0);
+      for (size_t I = 0; I != States.size(); ++I) {
+        std::vector<uint64_t> Key;
+        Key.push_back(Block[I]);
+        for (const auto &[Fn, Args] : States[I].Trans) {
+          Key.push_back(Fn);
+          for (uint32_t A : Args)
+            Key.push_back(Block[A]);
+        }
+        auto [It, Inserted] =
+            NextIds.emplace(Key, static_cast<uint32_t>(NextIds.size()));
+        Next[I] = It->second;
+      }
+      bool Stable = NextIds.size() == BlockIds.size();
+      Block = std::move(Next);
+      BlockIds = std::move(NextIds);
+      if (Stable)
+        break;
+    }
+    // Rebuild one representative state per block.
+    std::vector<DetState> Merged(BlockIds.size());
+    std::vector<bool> Done(BlockIds.size(), false);
+    for (size_t I = 0; I != States.size(); ++I) {
+      uint32_t B = Block[I];
+      if (Done[B])
+        continue;
+      Done[B] = true;
+      DetState S = States[I];
+      for (auto &[Fn, Args] : S.Trans)
+        for (uint32_t &A : Args)
+          A = Block[A];
+      Merged[B] = std::move(S);
+    }
+    uint32_t NewRoot = Block[Root];
+    States = std::move(Merged);
+    return NewRoot;
+  }
+
+  TypeGraph finish(uint32_t Root) {
+    computeProductivity();
+    if (!States[Root].Productive)
+      return TypeGraph::makeBottom();
+    Root = minimize(Root);
+    TypeGraph Out;
+    std::vector<std::pair<uint32_t, NodeId>> Path;
+    NodeId OutRoot = unfold(Root, Out, Path);
+    Out.setRoot(OutRoot);
+    Out.sortOrSuccessors(Syms);
+    TypeGraph Result = Out.compact();
+#ifndef NDEBUG
+    std::string Why;
+    assert(Result.validate(Syms, &Why) && "normalization must restore all "
+                                          "restrictions");
+#endif
+    return Result;
+  }
+
+  const TypeGraph &G;
+  const SymbolTable &Syms;
+  const NormalizeOptions &Opts;
+  std::vector<DetState> States;
+  std::vector<std::vector<NodeId>> StateKeys;
+};
+
+/// Exact subset construction (worklist based): language-preserving.
+class Determinizer : public DetBuilderBase {
+public:
+  using DetBuilderBase::DetBuilderBase;
+
+  TypeGraph run(const std::vector<NodeId> &Start) {
+    uint32_t Root = stateFor(Start);
+    while (!Worklist.empty()) {
+      uint32_t Id = Worklist.front();
+      Worklist.pop_front();
+      computeTransitions(
+          Id, [this](const std::vector<NodeId> &Roots) {
+            return stateFor(Roots);
+          });
+    }
+    return finish(Root);
+  }
+
+  GrammarAutomaton automaton(const std::vector<NodeId> &Start) {
+    uint32_t Root = stateFor(Start);
+    while (!Worklist.empty()) {
+      uint32_t Id = Worklist.front();
+      Worklist.pop_front();
+      computeTransitions(
+          Id, [this](const std::vector<NodeId> &Roots) {
+            return stateFor(Roots);
+          });
+    }
+    computeProductivity();
+    GrammarAutomaton A;
+    if (!States[Root].Productive) {
+      A.Empty = true;
+      return A;
+    }
+    Root = minimize(Root);
+    // Keep only states reachable from the root.
+    std::vector<uint32_t> Remap(States.size(), ~0u);
+    std::vector<uint32_t> Work{Root};
+    Remap[Root] = 0;
+    A.States.emplace_back();
+    while (!Work.empty()) {
+      uint32_t S = Work.back();
+      Work.pop_back();
+      GrammarAutomaton::State St;
+      St.IsAny = States[S].IsAny;
+      St.HasInt = States[S].HasInt;
+      for (const auto &[Fn, Args] : States[S].Trans) {
+        std::vector<uint32_t> NewArgs;
+        for (uint32_t Arg : Args) {
+          if (Remap[Arg] == ~0u) {
+            Remap[Arg] = static_cast<uint32_t>(A.States.size());
+            A.States.emplace_back();
+            Work.push_back(Arg);
+          }
+          NewArgs.push_back(Remap[Arg]);
+        }
+        St.Trans.emplace_back(Fn, std::move(NewArgs));
+      }
+      A.States[Remap[S]] = std::move(St);
+    }
+    A.Root = 0;
+    return A;
+  }
+
+private:
+  uint32_t stateFor(const std::vector<NodeId> &Roots) {
+    std::vector<NodeId> Key = closureKey(G, Roots);
+    auto It = StateIds.find(Key);
+    if (It != StateIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(States.size());
+    States.emplace_back();
+    StateKeys.push_back(Key);
+    StateIds.emplace(std::move(Key), Id);
+    Worklist.push_back(Id);
+    return Id;
+  }
+
+  std::unordered_map<std::vector<NodeId>, uint32_t, IdVectorHash> StateIds;
+  std::deque<uint32_t> Worklist;
+};
+
+/// The collapsing union used by the widening's replacement rule: a DFS
+/// subset construction that reuses an *ancestor* state whenever the new
+/// state's constituents are a subset of the ancestor's. This is the
+/// paper's "variant of the union operation which avoids creating
+/// or-vertices which would lead to a growth in size": reusing the
+/// ancestor over-approximates (the ancestor's language contains the
+/// state's) and ties the recursion into a cycle instead of unrolling.
+class Collapser : public DetBuilderBase {
+public:
+  using DetBuilderBase::DetBuilderBase;
+
+  TypeGraph run(const std::vector<NodeId> &Start) {
+    uint32_t Root = stateFor(closureKey(G, Start));
+    return finish(Root);
+  }
+
+private:
+  uint32_t stateFor(const std::vector<NodeId> &Key) {
+    auto It = StateIds.find(Key);
+    if (It != StateIds.end())
+      return It->second;
+    // Collapse into an ancestor whose constituents cover this state.
+    for (auto PIt = PathKeys.rbegin(), PEnd = PathKeys.rend(); PIt != PEnd;
+         ++PIt) {
+      const std::vector<NodeId> &AncKey = StateKeys[*PIt];
+      if (AncKey.size() == 1 && AncKey[0] == AnyMarker)
+        return *PIt; // Any covers everything
+      if (std::includes(AncKey.begin(), AncKey.end(), Key.begin(), Key.end()))
+        return *PIt;
+    }
+    uint32_t Id = static_cast<uint32_t>(States.size());
+    States.emplace_back();
+    StateKeys.push_back(Key);
+    StateIds.emplace(Key, Id);
+    PathKeys.push_back(Id);
+    computeTransitions(Id, [this](const std::vector<NodeId> &Roots) {
+      return stateFor(closureKey(G, Roots));
+    });
+    PathKeys.pop_back();
+    return Id;
+  }
+
+  std::unordered_map<std::vector<NodeId>, uint32_t, IdVectorHash> StateIds;
+  std::vector<uint32_t> PathKeys;
+};
+
+} // namespace
+
+TypeGraph gaia::normalizeGraph(const TypeGraph &G, const SymbolTable &Syms,
+                               const NormalizeOptions &Opts) {
+  if (G.root() == InvalidNode)
+    return TypeGraph::makeBottom();
+  return Determinizer(G, Syms, Opts).run({G.root()});
+}
+
+TypeGraph gaia::normalizeFrom(const TypeGraph &G,
+                              const std::vector<NodeId> &Start,
+                              const SymbolTable &Syms,
+                              const NormalizeOptions &Opts) {
+  if (Start.empty())
+    return TypeGraph::makeBottom();
+  return Determinizer(G, Syms, Opts).run(Start);
+}
+
+TypeGraph gaia::collapsingUnionFrom(const TypeGraph &G,
+                                    const std::vector<NodeId> &Start,
+                                    const SymbolTable &Syms,
+                                    const NormalizeOptions &Opts) {
+  if (Start.empty())
+    return TypeGraph::makeBottom();
+  return Collapser(G, Syms, Opts).run(Start);
+}
+
+GrammarAutomaton gaia::buildAutomaton(const TypeGraph &G,
+                                      const SymbolTable &Syms) {
+  if (G.root() == InvalidNode || G.isBottomGraph()) {
+    GrammarAutomaton A;
+    A.Empty = true;
+    return A;
+  }
+  NormalizeOptions Opts;
+  return Determinizer(G, Syms, Opts).automaton({G.root()});
+}

@@ -1,0 +1,89 @@
+//===- typegraph/Normalize.h - Restore the cosmetic restrictions ----------==//
+///
+/// \file
+/// Normalization re-establishes the paper's graph restrictions after a
+/// product construction (union, intersection) or any other surgery:
+///
+///   1. *Determinize*: a subset construction over or-closures merges
+///      same-functor alternatives, enforcing the Principal-Functor
+///      restriction, Isolated-Any, and Int absorption of integer
+///      literals. Unproductive (empty-denotation) states are pruned.
+///   2. *Unfold*: the deterministic automaton is unfolded into a tree
+///      whose only non-tree edges point back to or-vertices on the
+///      current root path — exactly Flip-Flop + Or-Cycle + No-Sharing.
+///
+/// The or-degree cap of Section 9 ("the algorithms are then generalized
+/// to replace an or-vertex with too many successors by an any-vertex")
+/// is applied during determinization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_NORMALIZE_H
+#define GAIA_TYPEGRAPH_NORMALIZE_H
+
+#include "typegraph/TypeGraph.h"
+
+namespace gaia {
+
+/// Tuning knobs for normalization. OrCap = 0 means "unbounded" (the
+/// paper's default configuration); 5 and 2 reproduce Table 3's capped
+/// rows. MaxNodes is a defensive bound on unfolding: beyond it the
+/// remaining structure collapses to Any (a sound over-approximation).
+struct NormalizeOptions {
+  uint32_t OrCap = 0;
+  uint32_t MaxNodes = 100000;
+  /// Depth bound (0 = unlimited): or-vertices deeper than this many
+  /// or-levels collapse to Any. This is NOT used by the paper's system;
+  /// it implements the classic depth-k abstraction used as the
+  /// alternative-baseline widening in bench/widening_ablation (Section 7
+  /// contrasts the paper's widening against finite-subdomain approaches
+  /// of this kind).
+  uint32_t MaxDepth = 0;
+};
+
+/// Returns an equivalent (or minimally over-approximated, if a cap fires)
+/// graph satisfying all restrictions, rooted at \p G's root.
+TypeGraph normalizeGraph(const TypeGraph &G, const SymbolTable &Syms,
+                         const NormalizeOptions &Opts = {});
+
+/// Normalizes the union of the denotations of \p Start inside \p G into a
+/// fresh self-contained graph. This is the workhorse behind subgraph
+/// extraction (leaf-domain restriction) and the replacement rule of the
+/// widening operator.
+TypeGraph normalizeFrom(const TypeGraph &G, const std::vector<NodeId> &Start,
+                        const SymbolTable &Syms,
+                        const NormalizeOptions &Opts = {});
+
+/// The minimal deterministic automaton equivalent to a graph. Unlike the
+/// graph itself (bound by No-Sharing), automaton states are shared, so
+/// this is the natural structure for displaying results as tree grammars
+/// the way the paper does.
+struct GrammarAutomaton {
+  struct State {
+    bool IsAny = false;
+    bool HasInt = false;
+    std::vector<std::pair<FunctorId, std::vector<uint32_t>>> Trans;
+  };
+  std::vector<State> States; ///< only reachable, productive states
+  uint32_t Root = 0;
+  bool Empty = false; ///< graph denotes the empty set
+};
+
+/// Determinizes, prunes and minimizes \p G into its canonical automaton.
+GrammarAutomaton buildAutomaton(const TypeGraph &G, const SymbolTable &Syms);
+
+/// The "variant of the union operation which avoids creating or-vertices
+/// which would lead to a growth in size" (Section 7.2.2), used by the
+/// widening's replacement rule. Like normalizeFrom, but the subset
+/// construction collapses a state into any ancestor state whose
+/// constituent set covers it, over-approximating the union while tying
+/// recursion into cycles. The result includes the denotations of all
+/// \p Start vertices and is usually much smaller than the exact union.
+TypeGraph collapsingUnionFrom(const TypeGraph &G,
+                              const std::vector<NodeId> &Start,
+                              const SymbolTable &Syms,
+                              const NormalizeOptions &Opts = {});
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_NORMALIZE_H

@@ -1,0 +1,312 @@
+//===- typegraph/TypeGraph.cpp ---------------------------------------------=//
+
+#include "typegraph/TypeGraph.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace gaia;
+
+NodeId TypeGraph::addAny() {
+  Nodes.push_back(TGNode{NodeKind::Any, InvalidFunctor, {}});
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+NodeId TypeGraph::addInt() {
+  Nodes.push_back(TGNode{NodeKind::Int, InvalidFunctor, {}});
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+NodeId TypeGraph::addFunc(FunctorId Fn, std::vector<NodeId> Args) {
+  Nodes.push_back(TGNode{NodeKind::Func, Fn, std::move(Args)});
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+NodeId TypeGraph::addOr(std::vector<NodeId> Alts) {
+  Nodes.push_back(TGNode{NodeKind::Or, InvalidFunctor, std::move(Alts)});
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+TypeGraph TypeGraph::makeBottom() {
+  TypeGraph G;
+  G.setRoot(G.addOr({}));
+  return G;
+}
+
+TypeGraph TypeGraph::makeAny() {
+  TypeGraph G;
+  NodeId Leaf = G.addAny();
+  G.setRoot(G.addOr({Leaf}));
+  return G;
+}
+
+TypeGraph TypeGraph::makeInt() {
+  TypeGraph G;
+  NodeId Leaf = G.addInt();
+  G.setRoot(G.addOr({Leaf}));
+  return G;
+}
+
+TypeGraph TypeGraph::makeFunctorOfAny(const SymbolTable &Syms, FunctorId Fn) {
+  TypeGraph G;
+  uint32_t Arity = Syms.functorArity(Fn);
+  std::vector<NodeId> Args;
+  Args.reserve(Arity);
+  for (uint32_t I = 0; I != Arity; ++I) {
+    NodeId Leaf = G.addAny();
+    Args.push_back(G.addOr({Leaf}));
+  }
+  NodeId F = G.addFunc(Fn, std::move(Args));
+  G.setRoot(G.addOr({F}));
+  return G;
+}
+
+TypeGraph TypeGraph::makeAnyList(SymbolTable &Syms) {
+  TypeGraph G;
+  NodeId Nil = G.addFunc(Syms.nilFunctor(), {});
+  NodeId HeadLeaf = G.addAny();
+  NodeId Head = G.addOr({HeadLeaf});
+  // Tail or-vertex is the root itself; create the root first as an empty
+  // or-vertex and patch its successors afterwards.
+  NodeId Root = G.addOr({});
+  NodeId Cons = G.addFunc(Syms.consFunctor(), {Head, Root});
+  G.node(Root).Succs = {Nil, Cons};
+  G.setRoot(Root);
+  G.sortOrSuccessors(Syms);
+  return G;
+}
+
+TypeGraph::Topology TypeGraph::computeTopology() const {
+  Topology T;
+  T.Depth.assign(Nodes.size(), 0);
+  T.Parent.assign(Nodes.size(), InvalidNode);
+  if (RootId == InvalidNode)
+    return T;
+  std::deque<NodeId> Queue;
+  Queue.push_back(RootId);
+  T.Depth[RootId] = 1;
+  while (!Queue.empty()) {
+    NodeId V = Queue.front();
+    Queue.pop_front();
+    T.BfsOrder.push_back(V);
+    for (NodeId S : Nodes[V].Succs) {
+      if (T.Depth[S] != 0)
+        continue;
+      T.Depth[S] = T.Depth[V] + 1;
+      T.Parent[S] = V;
+      Queue.push_back(S);
+    }
+  }
+  return T;
+}
+
+std::vector<FunctorId> TypeGraph::pfSet(NodeId Id,
+                                        const SymbolTable &Syms) const {
+  const TGNode &N = node(Id);
+  std::vector<FunctorId> Result;
+  switch (N.Kind) {
+  case NodeKind::Any:
+    return Result;
+  case NodeKind::Int:
+    Result.push_back(Syms.intFunctor());
+    return Result;
+  case NodeKind::Func:
+    Result.push_back(N.Fn);
+    return Result;
+  case NodeKind::Or:
+    for (NodeId S : N.Succs) {
+      const TGNode &SN = node(S);
+      if (SN.Kind == NodeKind::Func)
+        Result.push_back(SN.Fn);
+      else if (SN.Kind == NodeKind::Int)
+        Result.push_back(Syms.intFunctor());
+    }
+    std::sort(Result.begin(), Result.end());
+    Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+    return Result;
+  }
+  GAIA_UNREACHABLE("covered switch");
+}
+
+bool SuccOrder::operator()(const std::pair<NodeKind, FunctorId> &A,
+                           const std::pair<NodeKind, FunctorId> &B) const {
+  // Any-vertices first; then order by (name, arity).
+  bool AAny = A.first == NodeKind::Any;
+  bool BAny = B.first == NodeKind::Any;
+  if (AAny != BAny)
+    return AAny;
+  if (AAny)
+    return false;
+  auto KeyOf = [&](const std::pair<NodeKind, FunctorId> &X)
+      -> std::pair<const std::string &, uint32_t> {
+    if (X.first == NodeKind::Int) {
+      static const std::string IntName = "$int";
+      return {IntName, 0};
+    }
+    return {Syms.functorName(X.second), Syms.functorArity(X.second)};
+  };
+  auto KA = KeyOf(A);
+  auto KB = KeyOf(B);
+  if (KA.first != KB.first)
+    return KA.first < KB.first;
+  return KA.second < KB.second;
+}
+
+void TypeGraph::sortOrSuccessors(const SymbolTable &Syms) {
+  SuccOrder Order{Syms};
+  for (TGNode &N : Nodes) {
+    if (N.Kind != NodeKind::Or)
+      continue;
+    std::stable_sort(N.Succs.begin(), N.Succs.end(),
+                     [&](NodeId A, NodeId B) {
+                       const TGNode &NA = node(A);
+                       const TGNode &NB = node(B);
+                       return Order({NA.Kind, NA.Fn}, {NB.Kind, NB.Fn});
+                     });
+  }
+}
+
+TypeGraph TypeGraph::compact() const {
+  TypeGraph Out;
+  if (RootId == InvalidNode)
+    return makeBottom();
+  Topology T = computeTopology();
+  std::vector<NodeId> Remap(Nodes.size(), InvalidNode);
+  for (NodeId V : T.BfsOrder) {
+    const TGNode &N = Nodes[V];
+    switch (N.Kind) {
+    case NodeKind::Any:
+      Remap[V] = Out.addAny();
+      break;
+    case NodeKind::Int:
+      Remap[V] = Out.addInt();
+      break;
+    case NodeKind::Func:
+      Remap[V] = Out.addFunc(N.Fn, {});
+      break;
+    case NodeKind::Or:
+      Remap[V] = Out.addOr({});
+      break;
+    }
+  }
+  for (NodeId V : T.BfsOrder) {
+    std::vector<NodeId> NewSuccs;
+    NewSuccs.reserve(Nodes[V].Succs.size());
+    for (NodeId S : Nodes[V].Succs) {
+      assert(Remap[S] != InvalidNode && "successor of reachable node "
+                                        "must be reachable");
+      NewSuccs.push_back(Remap[S]);
+    }
+    Out.node(Remap[V]).Succs = std::move(NewSuccs);
+  }
+  Out.setRoot(Remap[RootId]);
+  return Out;
+}
+
+uint64_t TypeGraph::sizeMetric() const {
+  if (RootId == InvalidNode)
+    return 0;
+  Topology T = computeTopology();
+  uint64_t Size = 0;
+  for (NodeId V : T.BfsOrder)
+    Size += 1 + Nodes[V].Succs.size();
+  return Size;
+}
+
+bool TypeGraph::validate(const SymbolTable &Syms, std::string *Why) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (RootId == InvalidNode)
+    return Fail("no root");
+  Topology T = computeTopology();
+
+  if (node(RootId).Kind != NodeKind::Or)
+    return Fail("Flip-Flop: root is not an or-vertex");
+
+  for (NodeId V : T.BfsOrder) {
+    const TGNode &N = node(V);
+    switch (N.Kind) {
+    case NodeKind::Any:
+    case NodeKind::Int:
+      if (!N.Succs.empty())
+        return Fail("leaf vertex with successors");
+      break;
+    case NodeKind::Func: {
+      if (N.Succs.size() != Syms.functorArity(N.Fn))
+        return Fail("functor vertex arity mismatch for " +
+                    Syms.functorString(N.Fn));
+      for (NodeId S : N.Succs)
+        if (node(S).Kind != NodeKind::Or)
+          return Fail("Flip-Flop: functor successor is not an or-vertex");
+      break;
+    }
+    case NodeKind::Or: {
+      // Isolated-Any: an any-successor must be the only successor.
+      if (N.Succs.size() > 1)
+        for (NodeId S : N.Succs)
+          if (node(S).Kind == NodeKind::Any)
+            return Fail("Isolated-Any violated");
+      std::set<FunctorId> Seen;
+      bool SawInt = false;
+      for (NodeId S : N.Succs) {
+        const TGNode &SN = node(S);
+        if (SN.Kind == NodeKind::Or)
+          return Fail("Flip-Flop: or successor of or-vertex");
+        if (SN.Kind == NodeKind::Int) {
+          if (SawInt)
+            return Fail("duplicate Int successor");
+          SawInt = true;
+        }
+        if (SN.Kind == NodeKind::Func) {
+          // Principal functor restriction.
+          if (!Seen.insert(SN.Fn).second)
+            return Fail("Principal-Functor violated on " +
+                        Syms.functorString(SN.Fn));
+          // Int absorbs integer literals; keeping both is redundant.
+          if (SawInt && Syms.isIntegerLiteral(SN.Fn))
+            return Fail("integer literal alongside Int successor");
+        }
+      }
+      // Successor sortedness.
+      SuccOrder Order{Syms};
+      for (size_t I = 1; I < N.Succs.size(); ++I) {
+        const TGNode &A = node(N.Succs[I - 1]);
+        const TGNode &B = node(N.Succs[I]);
+        if (Order({B.Kind, B.Fn}, {A.Kind, A.Fn}))
+          return Fail("or-successors not sorted");
+      }
+      break;
+    }
+    }
+  }
+
+  // No-Sharing and Or-Cycle: every edge is either a BFS-tree edge or a
+  // back edge to an or-vertex on the tree path from the root (an
+  // ancestor). This is equivalent to the paper's formulation: removing
+  // the last edge of every canonical cycle leaves a tree.
+  // Compute ancestor sets lazily by walking parents.
+  auto IsAncestor = [&](NodeId A, NodeId V) {
+    for (NodeId P = V; P != InvalidNode; P = T.Parent[P])
+      if (P == A)
+        return true;
+    return false;
+  };
+  for (NodeId V : T.BfsOrder) {
+    for (NodeId S : node(V).Succs) {
+      if (T.Parent[S] == V)
+        continue; // tree edge
+      // Non-tree edge: must go to an or-vertex ancestor of V.
+      if (node(S).Kind != NodeKind::Or)
+        return Fail("Or-Cycle: back edge to non-or vertex");
+      if (!IsAncestor(S, V))
+        return Fail("No-Sharing: cross edge detected");
+    }
+  }
+  return true;
+}

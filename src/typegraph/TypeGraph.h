@@ -1,0 +1,155 @@
+//===- typegraph/TypeGraph.h - Type graphs (disjunctive rational trees) ---==//
+///
+/// \file
+/// Type graphs in the sense of Bruynooghe & Janssens as used by Van
+/// Hentenryck, Cortesi & Le Charlier, "Type Analysis of Prolog Using Type
+/// Graphs" (PLDI'94 / JLP'95), Section 6.
+///
+/// A type graph is a rooted directed graph whose vertices are:
+///   - any-vertices   (denote the set of all terms),
+///   - int-vertices   (denote all integers; the paper's "more types (e.g.
+///                     Integer) can be added easily" extension),
+///   - functor-vertices f/n (denote terms f(t1..tn) with ti in the i-th
+///                     successor's denotation),
+///   - or-vertices    (denote the union of their successors' denotations).
+///
+/// The analyzer keeps graphs in the paper's *cosmetic restrictions*:
+///   Flip-Flop, Or-Cycle, No-Sharing, Isolated-Any, and the (expressive)
+///   Principal-Functor restriction; `validate` checks all of them and
+///   `normalizeGraph` (typegraph/Normalize.h) re-establishes them.
+///
+/// Graphs are value types: nodes live in a vector and refer to each other
+/// by dense 32-bit ids, so copying is a vector copy and no manual memory
+/// management is needed (the awkward part of the original C system).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_TYPEGRAPH_H
+#define GAIA_TYPEGRAPH_TYPEGRAPH_H
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/// Dense id of a vertex inside one TypeGraph.
+using NodeId = uint32_t;
+constexpr NodeId InvalidNode = ~0u;
+
+/// Vertex kinds. `Any` and `Int` are leaves; `Func` carries a functor and
+/// has one successor per argument; `Or` is a disjunction.
+enum class NodeKind : uint8_t { Any, Int, Func, Or };
+
+/// One vertex of a type graph.
+struct TGNode {
+  NodeKind Kind = NodeKind::Any;
+  /// Functor, valid iff Kind == Func.
+  FunctorId Fn = InvalidFunctor;
+  /// Ordered successors. Empty for Any/Int. For Func: one per argument.
+  /// For Or: the alternatives (sorted by functor name; see
+  /// TypeGraph::sortOrSuccessors).
+  std::vector<NodeId> Succs;
+};
+
+/// A rooted type graph. See file comment.
+class TypeGraph {
+public:
+  TypeGraph() = default;
+
+  /// Adds an any-vertex and returns its id.
+  NodeId addAny();
+  /// Adds an int-vertex and returns its id.
+  NodeId addInt();
+  /// Adds a functor-vertex \p Fn with argument or-vertices \p Args.
+  NodeId addFunc(FunctorId Fn, std::vector<NodeId> Args);
+  /// Adds an or-vertex with alternatives \p Alts.
+  NodeId addOr(std::vector<NodeId> Alts);
+
+  void setRoot(NodeId Root) { RootId = Root; }
+  NodeId root() const { return RootId; }
+
+  const TGNode &node(NodeId Id) const {
+    assert(Id < Nodes.size() && "node id out of range");
+    return Nodes[Id];
+  }
+  TGNode &node(NodeId Id) {
+    assert(Id < Nodes.size() && "node id out of range");
+    return Nodes[Id];
+  }
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+
+  /// True if the graph denotes the empty set *syntactically*: the root is
+  /// an or-vertex without successors. (The paper forbids empty or-vertices;
+  /// we use exactly one, the root of the canonical bottom graph.)
+  bool isBottomGraph() const {
+    return RootId == InvalidNode ||
+           (node(RootId).Kind == NodeKind::Or && node(RootId).Succs.empty());
+  }
+
+  /// The canonical empty graph.
+  static TypeGraph makeBottom();
+  /// The canonical graph denoting all terms: an or-root with an any-leaf.
+  static TypeGraph makeAny();
+  /// The canonical graph denoting all integers.
+  static TypeGraph makeInt();
+  /// Or-root over f(Any,...,Any).
+  static TypeGraph makeFunctorOfAny(const SymbolTable &Syms, FunctorId Fn);
+  /// The canonical list graph  T ::= [] | cons(Any, T), used by input
+  /// pattern specs and tag checks.
+  static TypeGraph makeAnyList(SymbolTable &Syms);
+
+  /// Breadth-first topology of the reachable part: depth (root = 1, as in
+  /// the paper where depth is the length of the shortest path), BFS tree
+  /// parent, and the BFS order. Unreachable nodes get Depth = 0 and
+  /// Parent = InvalidNode.
+  struct Topology {
+    std::vector<uint32_t> Depth;
+    std::vector<NodeId> Parent;
+    std::vector<NodeId> BfsOrder;
+  };
+  Topology computeTopology() const;
+
+  /// Principal-functor set of a vertex (paper Section 6.3): functors of the
+  /// functor-successors of an or-vertex, {f} for a functor-vertex f, and
+  /// the empty set for any-vertices. An Int successor contributes the
+  /// reserved '$int' pseudo-functor. The result is sorted.
+  std::vector<FunctorId> pfSet(NodeId Id, const SymbolTable &Syms) const;
+
+  /// Sorts the successors of every or-vertex by (functor name, arity),
+  /// with any-vertices first and int-vertices via their '$int' name. The
+  /// paper assumes this order for the correspondence relation.
+  void sortOrSuccessors(const SymbolTable &Syms);
+
+  /// Returns a copy containing only the nodes reachable from the root,
+  /// renumbered in BFS order (a deterministic canonical numbering).
+  TypeGraph compact() const;
+
+  /// Paper's size(g): number of reachable vertices plus edges.
+  uint64_t sizeMetric() const;
+
+  /// Checks all cosmetic restrictions plus the principal-functor
+  /// restriction and successor sortedness. On failure returns false and,
+  /// if \p Why is non-null, stores a diagnostic.
+  bool validate(const SymbolTable &Syms, std::string *Why = nullptr) const;
+
+private:
+  std::vector<TGNode> Nodes;
+  NodeId RootId = InvalidNode;
+};
+
+/// Key used when comparing or-successors and pf-sets: orders functors by
+/// (name, arity); Any sorts first.
+struct SuccOrder {
+  const SymbolTable &Syms;
+  bool operator()(const std::pair<NodeKind, FunctorId> &A,
+                  const std::pair<NodeKind, FunctorId> &B) const;
+};
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_TYPEGRAPH_H

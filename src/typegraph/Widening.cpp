@@ -1,0 +1,258 @@
+//===- typegraph/Widening.cpp ----------------------------------------------=//
+
+#include "typegraph/Widening.h"
+
+#include "support/Debug.h"
+#include "support/Hashing.h"
+#include "typegraph/GraphOps.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace gaia;
+
+namespace {
+
+/// A topological clash: or-vertex Vo of the old graph corresponds to
+/// or-vertex Vn of the new graph but their pf-sets or depths differ
+/// (Definition 7.2, filtered to widening clashes by Definition 7.3).
+struct Clash {
+  NodeId Vo;
+  NodeId Vn;
+};
+
+static bool pfSubset(const std::vector<FunctorId> &A,
+                     const std::vector<FunctorId> &B) {
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}
+
+/// Computes the widening clashes WTC(Go, Gn) by walking the
+/// correspondence relation of Definition 7.1: descend through pairs of
+/// vertices as long as they agree on depth and pf-set; or-pairs that
+/// disagree are topological clashes.
+static std::vector<Clash> wideningClashes(const TypeGraph &Go,
+                                          const TypeGraph::Topology &TopoO,
+                                          const TypeGraph &Gn,
+                                          const TypeGraph::Topology &TopoN,
+                                          const SymbolTable &Syms) {
+  std::vector<Clash> Result;
+  std::unordered_set<std::pair<NodeId, NodeId>, PairHash> Visited;
+  std::deque<std::pair<NodeId, NodeId>> Queue;
+  Queue.emplace_back(Go.root(), Gn.root());
+  while (!Queue.empty()) {
+    auto [Vo, Vn] = Queue.front();
+    Queue.pop_front();
+    if (!Visited.insert({Vo, Vn}).second)
+      continue;
+    const TGNode &No = Go.node(Vo);
+    const TGNode &Nn = Gn.node(Vn);
+    if (No.Kind == NodeKind::Func && Nn.Kind == NodeKind::Func) {
+      assert(No.Fn == Nn.Fn && "corresponding functor vertices must agree");
+      for (size_t J = 0, E = No.Succs.size(); J != E; ++J)
+        Queue.emplace_back(No.Succs[J], Nn.Succs[J]);
+      continue;
+    }
+    if (No.Kind != NodeKind::Or || Nn.Kind != NodeKind::Or)
+      continue; // leaf pairs carry no information
+    bool SameDepth = TopoO.Depth[Vo] == TopoN.Depth[Vn];
+    std::vector<FunctorId> PfO = Go.pfSet(Vo, Syms);
+    std::vector<FunctorId> PfN = Gn.pfSet(Vn, Syms);
+    if (SameDepth && PfO == PfN) {
+      // Same pf-set plus sorted successors => positional correspondence.
+      // Beware Isolated-Any: both must be plain alternatives.
+      if (No.Succs.size() == Nn.Succs.size())
+        for (size_t J = 0, E = No.Succs.size(); J != E; ++J)
+          Queue.emplace_back(No.Succs[J], Nn.Succs[J]);
+      continue;
+    }
+    // Topological clash; keep it if it is a widening clash (Def 7.3).
+    if (PfN.empty())
+      continue;
+    bool PfClash = PfO != PfN && SameDepth;
+    bool DepthClash = TopoO.Depth[Vo] < TopoN.Depth[Vn];
+    if (PfClash || DepthClash)
+      Result.push_back({Vo, Vn});
+  }
+  // Deterministic processing order: shallow clash vertices first.
+  std::sort(Result.begin(), Result.end(), [&](const Clash &A, const Clash &B) {
+    if (TopoN.Depth[A.Vn] != TopoN.Depth[B.Vn])
+      return TopoN.Depth[A.Vn] < TopoN.Depth[B.Vn];
+    if (A.Vn != B.Vn)
+      return A.Vn < B.Vn;
+    return A.Vo < B.Vo;
+  });
+  return Result;
+}
+
+/// Walks the or-vertex ancestors of \p V (nearest first) via tree parents.
+static std::vector<NodeId> orAncestors(const TypeGraph &G,
+                                       const TypeGraph::Topology &Topo,
+                                       NodeId V) {
+  std::vector<NodeId> Result;
+  for (NodeId P = Topo.Parent[V]; P != InvalidNode; P = Topo.Parent[P])
+    if (G.node(P).Kind == NodeKind::Or)
+      Result.push_back(P);
+  return Result;
+}
+
+/// Splices \p Rep in place of the subtree rooted at or-vertex \p Va.
+static TypeGraph graftReplace(const TypeGraph &G, NodeId Va,
+                              const TypeGraph &Rep,
+                              const TypeGraph::Topology &Topo) {
+  TypeGraph Out = G; // copy; ids are preserved
+  NodeId RepRoot = copySubgraph(Rep, Rep.root(), Out);
+  if (Va == G.root()) {
+    Out.setRoot(RepRoot);
+    return Out.compact();
+  }
+  NodeId Parent = Topo.Parent[Va];
+  assert(Parent != InvalidNode && "non-root vertex must have a parent");
+  for (NodeId &S : Out.node(Parent).Succs)
+    if (S == Va)
+      S = RepRoot;
+  return Out.compact();
+}
+
+/// One pass of the widen() loop: try the cycle introduction rule, then
+/// the replacement rule. Returns true if a transformation was applied
+/// (mutating \p Gn).
+static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
+                              const SymbolTable &Syms,
+                              const WideningOptions &Opts,
+                              WideningStats *Stats) {
+  TypeGraph::Topology TopoO = Go.computeTopology();
+  TypeGraph::Topology TopoN = Gn.computeTopology();
+  std::vector<Clash> Clashes = wideningClashes(Go, TopoO, Gn, TopoN, Syms);
+  if (Clashes.empty())
+    return false;
+
+  // Cycle introduction rule (Definition 7.4).
+  for (const Clash &C : Clashes) {
+    if (C.Vn == Gn.root())
+      continue; // no incoming edge to redirect
+    std::vector<FunctorId> PfN = Gn.pfSet(C.Vn, Syms);
+    for (NodeId Va : orAncestors(Gn, TopoN, C.Vn)) {
+      if (TopoO.Depth[C.Vo] < TopoN.Depth[Va])
+        continue;
+      std::vector<FunctorId> PfA = Gn.pfSet(Va, Syms);
+      if (!pfSubset(PfN, PfA))
+        continue;
+      if (!vertexIncludes(Gn, Va, Gn, C.Vn, Syms))
+        continue;
+      // Redirect the tree edge (parent(Vn), Vn) to Va.
+      NodeId Parent = TopoN.Parent[C.Vn];
+      for (NodeId &S : Gn.node(Parent).Succs)
+        if (S == C.Vn)
+          S = Va;
+      Gn = Gn.compact();
+      if (Stats)
+        ++Stats->CycleIntroductions;
+      return true;
+    }
+  }
+
+  // Replacement rule (Definition 7.5).
+  for (const Clash &C : Clashes) {
+    std::vector<FunctorId> PfN = Gn.pfSet(C.Vn, Syms);
+    bool DepthClash = TopoO.Depth[C.Vo] < TopoN.Depth[C.Vn];
+    for (NodeId Va : orAncestors(Gn, TopoN, C.Vn)) {
+      if (TopoO.Depth[C.Vo] < TopoN.Depth[Va])
+        continue;
+      if (vertexIncludes(Gn, Va, Gn, C.Vn, Syms))
+        continue; // cycle introduction territory, already failed on pf
+      std::vector<FunctorId> PfA = Gn.pfSet(Va, Syms);
+      if (!pfSubset(PfN, PfA) && !DepthClash)
+        continue;
+      uint64_t OldSize = Gn.sizeMetric();
+      // The conclusion's extension: prefer a type from the database
+      // that covers both clash vertices, if it shrinks the graph.
+      if (Opts.Database) {
+        const TypeGraph *Best = nullptr;
+        for (const TypeGraph &D : *Opts.Database) {
+          if (!vertexIncludes(D, D.root(), Gn, Va, Syms) ||
+              !vertexIncludes(D, D.root(), Gn, C.Vn, Syms))
+            continue;
+          if (!Best || D.sizeMetric() < Best->sizeMetric())
+            Best = &D;
+        }
+        if (Best) {
+          TypeGraph Candidate = graftReplace(Gn, Va, *Best, TopoN);
+          if (Candidate.sizeMetric() < OldSize) {
+            Gn = std::move(Candidate);
+            if (Stats) {
+              ++Stats->Replacements;
+              ++Stats->DatabaseHits;
+            }
+            return true;
+          }
+        }
+      }
+      // Replace Va by an upper bound of Va and Vn, computed with the
+      // collapsing union (the paper's growth-avoiding union variant);
+      // fall back to Any. Either must strictly decrease the size of the
+      // graph (Figure 7).
+      TypeGraph Rep = collapsingUnionFrom(Gn, {Va, C.Vn}, Syms, Opts.Norm);
+      TypeGraph Candidate = graftReplace(Gn, Va, Rep, TopoN);
+      if (Candidate.sizeMetric() < OldSize) {
+        Gn = std::move(Candidate);
+        if (Stats)
+          ++Stats->Replacements;
+        return true;
+      }
+      TypeGraph AnyRep = TypeGraph::makeAny();
+      Candidate = graftReplace(Gn, Va, AnyRep, TopoN);
+      if (Candidate.sizeMetric() < OldSize) {
+        Gn = std::move(Candidate);
+        if (Stats)
+          ++Stats->Replacements;
+        return true;
+      }
+      // Cannot shrink here; try the next ancestor / clash.
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
+                           const SymbolTable &Syms,
+                           const WideningOptions &Opts,
+                           WideningStats *Stats) {
+  if (Stats)
+    ++Stats->Invocations;
+  if (graphIncludes(Gold, Gnew, Syms))
+    return Gold;
+  if (Opts.Mode == WidenMode::DepthK) {
+    // Baseline strategy: truncate the union at DepthK or-levels. This
+    // is what the paper's widening is measured against.
+    NormalizeOptions Truncate = Opts.Norm;
+    Truncate.MaxDepth = Opts.DepthK;
+    TypeGraph U = graphUnion(Gold, Gnew, Syms, Opts.Norm);
+    return normalizeGraph(U, Syms, Truncate);
+  }
+  if (Gold.isBottomGraph())
+    return normalizeGraph(Gnew, Syms, Opts.Norm);
+  TypeGraph Gn = graphUnion(Gold, Gnew, Syms, Opts.Norm);
+
+  uint32_t Transforms = 0;
+  while (applyOneTransform(Gold, Gn, Syms, Opts, Stats)) {
+    ++Transforms;
+    if (Transforms >= Opts.MaxTransforms) {
+      assert(false && "widening transformation loop exhausted its "
+                      "defensive budget");
+      break;
+    }
+  }
+  // Cycle introduction can make previously distinct vertices
+  // language-equivalent; re-normalize (exactly language-preserving) so
+  // results stay minimal and canonical.
+  if (Transforms != 0)
+    Gn = normalizeGraph(Gn, Syms, Opts.Norm);
+#ifndef NDEBUG
+  assert(graphIncludes(Gn, Gold, Syms) && "widening must include old graph");
+  assert(graphIncludes(Gn, Gnew, Syms) && "widening must include new graph");
+#endif
+  return Gn;
+}

@@ -1,0 +1,148 @@
+//===- tests/BenchmarkSuiteTest.cpp - Section 9 benchmark smoke tests -----==//
+///
+/// \file
+/// Integration tests over the ten medium-sized benchmarks: every program
+/// parses, normalizes, analyzes to a non-bottom result under both
+/// domains, produces sane metrics, and the type analysis never loses to
+/// the principal-functor baseline (Section 9: "The type analysis
+/// described here is always more precise than the pattern domain").
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Report.h"
+#include "programs/Benchmarks.h"
+#include "programs/PaperData.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+AnalyzerOptions optionsFor(const std::string &Key, DomainKind Domain) {
+  AnalyzerOptions Opts;
+  Opts.Domain = Domain;
+  // PR's polyvariance explosion (the pathology Section 9 discusses for
+  // RE) is trimmed harder in unit tests to keep them fast.
+  if (Key == "PR")
+    Opts.MaxInputPatterns = 2;
+  return Opts;
+}
+
+class BenchmarkSuiteTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BenchmarkSuiteTest, TypeAnalysisSucceeds) {
+  const BenchmarkProgram *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  AnalysisResult R = analyzeProgram(
+      B->Source, B->GoalSpec, optionsFor(B->Key, DomainKind::TypeGraphs));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.QuerySucceeds) << B->Key << " bottomed out";
+  EXPECT_TRUE(R.UnknownPredicates.empty())
+      << B->Key << " calls undefined predicates";
+  EXPECT_GT(R.Stats.ProcedureIterations, 0u);
+  EXPECT_GE(R.Stats.ClauseIterations, R.Stats.ProcedureIterations);
+}
+
+TEST_P(BenchmarkSuiteTest, PrincipalFunctorBaselineSucceeds) {
+  const BenchmarkProgram *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  AnalysisResult R = analyzeProgram(
+      B->Source, B->GoalSpec,
+      optionsFor(B->Key, DomainKind::PrincipalFunctors));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.QuerySucceeds) << B->Key;
+}
+
+TEST_P(BenchmarkSuiteTest, MetricsAreSane) {
+  const BenchmarkProgram *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  AnalysisResult R = analyzeProgram(
+      B->Source, B->GoalSpec, optionsFor(B->Key, DomainKind::TypeGraphs));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_GT(R.Sizes.NumProcedures, 0u);
+  EXPECT_GE(R.Sizes.NumClauses, R.Sizes.NumProcedures);
+  EXPECT_GT(R.Sizes.NumProgramPoints, R.Sizes.NumClauses);
+  EXPECT_GT(R.Sizes.NumGoals, 0u);
+  EXPECT_GT(R.Sizes.StaticCallTreeSize, 0u);
+  uint32_t Classified = R.Recursion.TailRecursive +
+                        R.Recursion.LocallyRecursive +
+                        R.Recursion.MutuallyRecursive +
+                        R.Recursion.NonRecursive;
+  EXPECT_EQ(Classified, R.Sizes.NumProcedures);
+}
+
+TEST_P(BenchmarkSuiteTest, TypeTagsNeverLoseToBaseline) {
+  const BenchmarkProgram *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  AnalysisResult Ty = analyzeProgram(
+      B->Source, B->GoalSpec, optionsFor(B->Key, DomainKind::TypeGraphs));
+  AnalysisResult PF = analyzeProgram(
+      B->Source, B->GoalSpec,
+      optionsFor(B->Key, DomainKind::PrincipalFunctors));
+  ASSERT_TRUE(Ty.Ok);
+  ASSERT_TRUE(PF.Ok);
+  for (bool Output : {true, false}) {
+    TagTally T = computeTagTally(Ty, PF, Output);
+    EXPECT_EQ(T.Type[0] /*None*/ <= T.PF[0], true)
+        << B->Key << ": type analysis produced fewer tags than PF";
+    // Improvement ratios are well defined.
+    EXPECT_LE(T.AI, T.A);
+    EXPECT_LE(T.CI, T.C);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, BenchmarkSuiteTest,
+                         ::testing::Values("KA", "QU", "PR", "PE", "CS",
+                                           "DS", "PG", "RE", "BR", "PL"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+TEST(BenchmarkRegistryTest, SuiteRowOrderMatchesTables45) {
+  const std::vector<BenchmarkProgram> &Suite = benchmarkSuite();
+  ASSERT_EQ(Suite.size(), 15u);
+  const char *Expected[] = {"AR", "AR1", "CS", "DS", "BR", "KA", "LDS",
+                            "LPE", "LPL", "PE", "PG", "PL", "PR", "QU",
+                            "RE"};
+  for (size_t I = 0; I != Suite.size(); ++I)
+    EXPECT_EQ(Suite[I].Key, Expected[I]);
+}
+
+TEST(BenchmarkRegistryTest, PaperDataCoversAllRows) {
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    EXPECT_NE(paperTable4(B.Key), nullptr) << B.Key;
+    EXPECT_NE(paperTable5(B.Key), nullptr) << B.Key;
+  }
+  for (const BenchmarkProgram &B : table123Suite()) {
+    EXPECT_NE(paperTable1(B.Key), nullptr) << B.Key;
+    EXPECT_NE(paperTable2(B.Key), nullptr) << B.Key;
+    EXPECT_NE(paperTable3(B.Key), nullptr) << B.Key;
+  }
+}
+
+TEST(BenchmarkRegistryTest, LVariantsShareSources) {
+  const BenchmarkProgram *DS = findBenchmark("DS");
+  const BenchmarkProgram *LDS = findBenchmark("LDS");
+  ASSERT_NE(DS, nullptr);
+  ASSERT_NE(LDS, nullptr);
+  EXPECT_EQ(DS->Source, LDS->Source);
+  EXPECT_NE(DS->GoalSpec, LDS->GoalSpec);
+}
+
+TEST(BenchmarkRegistryTest, LVariantsAnalyze) {
+  for (const char *Key : {"LDS", "LPL"}) {
+    const BenchmarkProgram *B = findBenchmark(Key);
+    ASSERT_NE(B, nullptr);
+    AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.QuerySucceeds) << Key;
+  }
+}
+
+TEST(BenchmarkRegistryTest, FindBenchmarkUnknownKey) {
+  EXPECT_EQ(findBenchmark("NOPE"), nullptr);
+}
+
+} // namespace

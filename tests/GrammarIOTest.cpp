@@ -1,0 +1,131 @@
+//===- tests/GrammarIOTest.cpp - Grammar parser/printer tests -------------==//
+///
+/// \file
+/// Tests for the tree-grammar notation: parsing the paper's example
+/// grammars, printing, and round-tripping (parse . print == identity up
+/// to semantic equality).
+///
+//===----------------------------------------------------------------------===//
+
+#include "typegraph/GrammarParser.h"
+#include "typegraph/GrammarPrinter.h"
+#include "typegraph/GraphOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+class GrammarIOTest : public ::testing::Test {
+protected:
+  TypeGraph parse(const char *Text) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Text, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err << "\nwhile parsing: " << Text;
+    return G ? *G : TypeGraph::makeBottom();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(GrammarIOTest, ParsesAnyList) {
+  TypeGraph G = parse("T ::= [] | cons(Any,T).");
+  EXPECT_TRUE(G.validate(Syms));
+  TypeGraph Canon = TypeGraph::makeAnyList(Syms);
+  EXPECT_TRUE(graphEquals(G, Canon, Syms));
+}
+
+TEST_F(GrammarIOTest, ParsesPaperProcessResult) {
+  // Output pattern of process/2 from Section 2.
+  TypeGraph G = parse("T ::= [] | cons(T1,T).\n"
+                      "T1 ::= c(Any) | d(Any).");
+  EXPECT_TRUE(G.validate(Syms));
+  std::vector<FunctorId> Pf = G.pfSet(G.root(), Syms);
+  EXPECT_EQ(Pf.size(), 2u);
+}
+
+TEST_F(GrammarIOTest, ParsesAccumulatorGrammar) {
+  // S ::= 0 | c(Any,S) | d(Any,S) from the process example.
+  TypeGraph G = parse("S ::= 0 | c(Any,S) | d(Any,S).");
+  EXPECT_TRUE(G.validate(Syms));
+  EXPECT_EQ(G.pfSet(G.root(), Syms).size(), 3u);
+}
+
+TEST_F(GrammarIOTest, ParsesMutuallyRecursiveRules) {
+  // The arithmetic-expression grammar of Figure 2's analysis: the rule
+  // for T2 refers back to T.
+  TypeGraph G = parse("T ::= +(T,T1) | 0.\n"
+                      "T1 ::= *(T1,T2) | 1.\n"
+                      "T2 ::= cst(Any) | par(T) | var(Any).");
+  EXPECT_TRUE(G.validate(Syms));
+}
+
+TEST_F(GrammarIOTest, ParsesNestedTermArguments) {
+  TypeGraph G = parse("T ::= f(g(Any),h(Int)).");
+  EXPECT_TRUE(G.validate(Syms));
+}
+
+TEST_F(GrammarIOTest, ParsesIntLeaf) {
+  TypeGraph G = parse("T ::= Int.");
+  EXPECT_TRUE(graphEquals(G, TypeGraph::makeInt(), Syms));
+}
+
+TEST_F(GrammarIOTest, ParserNormalizesDuplicateFunctors) {
+  // Two cons alternatives merge under the principal-functor restriction.
+  TypeGraph G = parse("T ::= cons(A,T) | cons(B,T) | [].\n"
+                      "A ::= a.\n"
+                      "B ::= b.");
+  EXPECT_TRUE(G.validate(Syms));
+  EXPECT_EQ(G.pfSet(G.root(), Syms).size(), 2u);
+  TypeGraph Expect = parse("T ::= cons(E,T) | [].\nE ::= a | b.");
+  EXPECT_TRUE(graphEquals(G, Expect, Syms));
+}
+
+TEST_F(GrammarIOTest, ParserAbsorbsLiteralsIntoInt) {
+  TypeGraph G = parse("T ::= Int | 0 | 1.");
+  EXPECT_TRUE(graphEquals(G, TypeGraph::makeInt(), Syms));
+}
+
+TEST_F(GrammarIOTest, RejectsSyntaxErrors) {
+  std::string Err;
+  EXPECT_FALSE(parseGrammar("T ::= ", Syms, &Err).has_value());
+  EXPECT_FALSE(parseGrammar("T == foo.", Syms, &Err).has_value());
+  EXPECT_FALSE(parseGrammar("T ::= f(.", Syms, &Err).has_value());
+  EXPECT_FALSE(parseGrammar("", Syms, &Err).has_value());
+  // Undefined nonterminal.
+  EXPECT_FALSE(parseGrammar("T ::= f(U).", Syms, &Err).has_value());
+  EXPECT_NE(Err.find("undefined"), std::string::npos);
+}
+
+TEST_F(GrammarIOTest, PrintsBottom) {
+  EXPECT_EQ(printGrammar(TypeGraph::makeBottom(), Syms), "T ::= $empty.\n");
+}
+
+TEST_F(GrammarIOTest, PrintsAnyInline) {
+  EXPECT_EQ(printGrammar(TypeGraph::makeAny(), Syms), "T ::= Any.\n");
+}
+
+TEST_F(GrammarIOTest, RoundTripsList) {
+  TypeGraph G = TypeGraph::makeAnyList(Syms);
+  std::string Text = printGrammar(G, Syms);
+  TypeGraph Back = parse(Text.c_str());
+  EXPECT_TRUE(graphEquals(G, Back, Syms)) << Text;
+}
+
+TEST_F(GrammarIOTest, RoundTripsArithmeticGrammar) {
+  const char *Text = "T ::= +(T,T1) | 0.\n"
+                     "T1 ::= *(T1,T2) | 1.\n"
+                     "T2 ::= cst(Any) | par(T) | var(Any).";
+  TypeGraph G = parse(Text);
+  TypeGraph Back = parse(printGrammar(G, Syms).c_str());
+  EXPECT_TRUE(graphEquals(G, Back, Syms)) << printGrammar(G, Syms);
+}
+
+TEST_F(GrammarIOTest, QuotedAtomsRoundTrip) {
+  TypeGraph G = parse("T ::= '(' | ')' | atom(Any).");
+  TypeGraph Back = parse(printGrammar(G, Syms).c_str());
+  EXPECT_TRUE(graphEquals(G, Back, Syms)) << printGrammar(G, Syms);
+}
+
+} // namespace

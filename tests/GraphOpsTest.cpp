@@ -1,0 +1,281 @@
+//===- tests/GraphOpsTest.cpp - Inclusion/intersection/union tests --------==//
+///
+/// \file
+/// Unit and property tests for the three primitive operations of Section
+/// 6.9. The property sweeps draw graphs from a seeded random generator
+/// and check the lattice laws that soundness of the analysis rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "typegraph/GrammarParser.h"
+#include "typegraph/GrammarPrinter.h"
+#include "typegraph/GraphOps.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gaia;
+
+namespace {
+
+class GraphOpsTest : public ::testing::Test {
+protected:
+  TypeGraph parse(const char *Text) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Text, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err;
+    return G ? *G : TypeGraph::makeBottom();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(GraphOpsTest, BottomIsLeast) {
+  TypeGraph Bot = TypeGraph::makeBottom();
+  TypeGraph Any = TypeGraph::makeAny();
+  TypeGraph List = TypeGraph::makeAnyList(Syms);
+  EXPECT_TRUE(graphIncludes(Any, Bot, Syms));
+  EXPECT_TRUE(graphIncludes(List, Bot, Syms));
+  EXPECT_TRUE(graphIncludes(Bot, Bot, Syms));
+  EXPECT_FALSE(graphIncludes(Bot, Any, Syms));
+}
+
+TEST_F(GraphOpsTest, AnyIsGreatest) {
+  TypeGraph Any = TypeGraph::makeAny();
+  TypeGraph List = TypeGraph::makeAnyList(Syms);
+  TypeGraph Int = TypeGraph::makeInt();
+  EXPECT_TRUE(graphIncludes(Any, List, Syms));
+  EXPECT_TRUE(graphIncludes(Any, Int, Syms));
+  EXPECT_FALSE(graphIncludes(List, Any, Syms));
+  EXPECT_FALSE(graphIncludes(Int, Any, Syms));
+}
+
+TEST_F(GraphOpsTest, IntegerLiteralsAreBelowInt) {
+  TypeGraph Zero = parse("T ::= 0.");
+  TypeGraph Int = TypeGraph::makeInt();
+  EXPECT_TRUE(graphIncludes(Int, Zero, Syms));
+  EXPECT_FALSE(graphIncludes(Zero, Int, Syms));
+  TypeGraph Atom = parse("T ::= foo.");
+  EXPECT_FALSE(graphIncludes(Int, Atom, Syms));
+}
+
+TEST_F(GraphOpsTest, FiniteListsIncludedInAnyList) {
+  TypeGraph List = TypeGraph::makeAnyList(Syms);
+  TypeGraph UpTo2 = parse("T ::= [] | cons(Any,T1).\n"
+                          "T1 ::= [] | cons(Any,T2).\n"
+                          "T2 ::= [].");
+  EXPECT_TRUE(graphIncludes(List, UpTo2, Syms));
+  EXPECT_FALSE(graphIncludes(UpTo2, List, Syms));
+}
+
+TEST_F(GraphOpsTest, ListsOfIntsIncludedInLists) {
+  TypeGraph List = TypeGraph::makeAnyList(Syms);
+  TypeGraph IntList = parse("T ::= [] | cons(Int,T).");
+  EXPECT_TRUE(graphIncludes(List, IntList, Syms));
+  EXPECT_FALSE(graphIncludes(IntList, List, Syms));
+}
+
+TEST_F(GraphOpsTest, NestedGrammarInclusion) {
+  // From Figure 1's analysis: lists of lists of a|b are lists of lists.
+  TypeGraph Inner = parse("T ::= [] | cons(T1,T).\n"
+                          "T1 ::= [] | cons(T2,T1).\n"
+                          "T2 ::= a | b.");
+  TypeGraph Outer = parse("T ::= [] | cons(T1,T).\n"
+                          "T1 ::= [] | cons(Any,T1).");
+  EXPECT_TRUE(graphIncludes(Outer, Inner, Syms));
+  EXPECT_FALSE(graphIncludes(Inner, Outer, Syms));
+}
+
+TEST_F(GraphOpsTest, IntersectListWithConsShape) {
+  TypeGraph List = TypeGraph::makeAnyList(Syms);
+  TypeGraph Cons = parse("T ::= cons(Any,Any).");
+  TypeGraph Meet = graphIntersect(List, Cons, Syms);
+  TypeGraph Expect = parse("T ::= cons(Any,T1).\nT1 ::= [] | cons(Any,T1).");
+  EXPECT_TRUE(graphEquals(Meet, Expect, Syms))
+      << printGrammar(Meet, Syms);
+}
+
+TEST_F(GraphOpsTest, IntersectDisjointFunctorsIsBottom) {
+  TypeGraph A = parse("T ::= f(Any).");
+  TypeGraph B = parse("T ::= g(Any).");
+  EXPECT_TRUE(graphIntersect(A, B, Syms).isBottomGraph());
+}
+
+TEST_F(GraphOpsTest, IntersectPrunesEmptyArguments) {
+  // f(a) /\ f(b) is empty even though both sides have functor f.
+  TypeGraph A = parse("T ::= f(A).\nA ::= a.");
+  TypeGraph B = parse("T ::= f(B).\nB ::= b.");
+  EXPECT_TRUE(graphIntersect(A, B, Syms).isBottomGraph());
+}
+
+TEST_F(GraphOpsTest, IntersectIntWithLiteral) {
+  TypeGraph Int = TypeGraph::makeInt();
+  TypeGraph ZeroOrAtom = parse("T ::= 0 | foo.");
+  TypeGraph Meet = graphIntersect(Int, ZeroOrAtom, Syms);
+  TypeGraph Expect = parse("T ::= 0.");
+  EXPECT_TRUE(graphEquals(Meet, Expect, Syms));
+}
+
+TEST_F(GraphOpsTest, IntersectRecursiveGrammars) {
+  // Lists of ints /\ lists of (ints or atoms) = lists of ints.
+  TypeGraph A = parse("T ::= [] | cons(Int,T).");
+  TypeGraph B = parse("T ::= [] | cons(E,T).\nE ::= Int | foo.");
+  TypeGraph Meet = graphIntersect(A, B, Syms);
+  EXPECT_TRUE(graphEquals(Meet, A, Syms)) << printGrammar(Meet, Syms);
+}
+
+TEST_F(GraphOpsTest, UnionMergesSameFunctorAlternatives) {
+  TypeGraph A = parse("T ::= f(A1).\nA1 ::= a.");
+  TypeGraph B = parse("T ::= f(B1).\nB1 ::= b.");
+  TypeGraph Join = graphUnion(A, B, Syms);
+  TypeGraph Expect = parse("T ::= f(E).\nE ::= a | b.");
+  EXPECT_TRUE(graphEquals(Join, Expect, Syms)) << printGrammar(Join, Syms);
+}
+
+TEST_F(GraphOpsTest, UnionKeepsDistinctFunctors) {
+  TypeGraph A = parse("T ::= f(Any).");
+  TypeGraph B = parse("T ::= g(Any) | h.");
+  TypeGraph Join = graphUnion(A, B, Syms);
+  TypeGraph Expect = parse("T ::= f(Any) | g(Any) | h.");
+  EXPECT_TRUE(graphEquals(Join, Expect, Syms));
+}
+
+TEST_F(GraphOpsTest, UnionWithAnyCollapses) {
+  TypeGraph A = TypeGraph::makeAny();
+  TypeGraph B = TypeGraph::makeAnyList(Syms);
+  EXPECT_TRUE(graphEquals(graphUnion(A, B, Syms), A, Syms));
+}
+
+TEST_F(GraphOpsTest, UnionAbsorbsLiteralIntoInt) {
+  TypeGraph A = TypeGraph::makeInt();
+  TypeGraph B = parse("T ::= 7 | foo.");
+  TypeGraph Join = graphUnion(A, B, Syms);
+  TypeGraph Expect = parse("T ::= Int | foo.");
+  EXPECT_TRUE(graphEquals(Join, Expect, Syms)) << printGrammar(Join, Syms);
+}
+
+TEST_F(GraphOpsTest, OrCapCollapsesWideDisjunctions) {
+  TypeGraph Wide = parse("T ::= a | b | c | d | e | f.");
+  NormalizeOptions Cap2;
+  Cap2.OrCap = 2;
+  TypeGraph Capped = normalizeGraph(Wide, Syms, Cap2);
+  EXPECT_TRUE(graphEquals(Capped, TypeGraph::makeAny(), Syms));
+  NormalizeOptions Cap8;
+  Cap8.OrCap = 8;
+  TypeGraph Kept = normalizeGraph(Wide, Syms, Cap8);
+  EXPECT_TRUE(graphEquals(Kept, Wide, Syms));
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests over randomly generated graphs.
+//===----------------------------------------------------------------------===//
+
+/// Builds a random (normalized) type graph from a seed. Functor alphabet
+/// is small so unions/intersections overlap often.
+static TypeGraph randomGraph(SymbolTable &Syms, uint32_t Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<int> Pick(0, 99);
+  TypeGraph G;
+  // A handful of or-nodes wired randomly, then normalized.
+  constexpr unsigned NumOrs = 6;
+  std::vector<NodeId> Ors;
+  for (unsigned I = 0; I != NumOrs; ++I)
+    Ors.push_back(G.addOr({}));
+  FunctorId Fns[] = {Syms.functor("f", 1), Syms.functor("g", 2),
+                     Syms.functor("a", 0), Syms.functor("b", 0),
+                     Syms.consFunctor(), Syms.nilFunctor(),
+                     Syms.functor("0", 0)};
+  for (unsigned I = 0; I != NumOrs; ++I) {
+    std::vector<NodeId> Children;
+    unsigned NumAlts = 1 + Pick(Rng) % 3;
+    for (unsigned J = 0; J != NumAlts; ++J) {
+      int K = Pick(Rng);
+      if (K < 10) {
+        Children.push_back(G.addAny());
+      } else if (K < 20) {
+        Children.push_back(G.addInt());
+      } else {
+        FunctorId Fn = Fns[Pick(Rng) % 7];
+        std::vector<NodeId> Args;
+        for (uint32_t A = 0; A != Syms.functorArity(Fn); ++A)
+          Args.push_back(Ors[Pick(Rng) % NumOrs]);
+        Children.push_back(G.addFunc(Fn, std::move(Args)));
+      }
+    }
+    G.node(Ors[I]).Succs = std::move(Children);
+  }
+  G.setRoot(Ors[0]);
+  return normalizeGraph(G, Syms);
+}
+
+class GraphOpsPropertyTest : public ::testing::TestWithParam<uint32_t> {
+protected:
+  SymbolTable Syms;
+};
+
+TEST_P(GraphOpsPropertyTest, NormalizedGraphsValidate) {
+  TypeGraph G = randomGraph(Syms, GetParam());
+  std::string Why;
+  EXPECT_TRUE(G.validate(Syms, &Why)) << Why;
+}
+
+TEST_P(GraphOpsPropertyTest, InclusionIsReflexive) {
+  TypeGraph G = randomGraph(Syms, GetParam());
+  EXPECT_TRUE(graphIncludes(G, G, Syms));
+}
+
+TEST_P(GraphOpsPropertyTest, UnionIsUpperBound) {
+  TypeGraph A = randomGraph(Syms, GetParam());
+  TypeGraph B = randomGraph(Syms, GetParam() + 1000003);
+  TypeGraph J = graphUnion(A, B, Syms);
+  EXPECT_TRUE(graphIncludes(J, A, Syms));
+  EXPECT_TRUE(graphIncludes(J, B, Syms));
+}
+
+TEST_P(GraphOpsPropertyTest, UnionIsCommutativeSemantically) {
+  TypeGraph A = randomGraph(Syms, GetParam());
+  TypeGraph B = randomGraph(Syms, GetParam() + 1000003);
+  EXPECT_TRUE(graphEquals(graphUnion(A, B, Syms), graphUnion(B, A, Syms),
+                          Syms));
+}
+
+TEST_P(GraphOpsPropertyTest, IntersectionIsLowerBoundOfUnionSides) {
+  TypeGraph A = randomGraph(Syms, GetParam());
+  TypeGraph B = randomGraph(Syms, GetParam() + 1000003);
+  TypeGraph M = graphIntersect(A, B, Syms);
+  // Exact intersection is below both sides.
+  EXPECT_TRUE(graphIncludes(A, M, Syms));
+  EXPECT_TRUE(graphIncludes(B, M, Syms));
+}
+
+TEST_P(GraphOpsPropertyTest, IntersectWithSelfIsIdentity) {
+  TypeGraph A = randomGraph(Syms, GetParam());
+  EXPECT_TRUE(graphEquals(graphIntersect(A, A, Syms), A, Syms));
+}
+
+TEST_P(GraphOpsPropertyTest, UnionWithSelfIsIdentity) {
+  TypeGraph A = randomGraph(Syms, GetParam());
+  EXPECT_TRUE(graphEquals(graphUnion(A, A, Syms), A, Syms));
+}
+
+TEST_P(GraphOpsPropertyTest, InclusionAgreesWithUnion) {
+  // A <= B  iff  A \/ B == B.
+  TypeGraph A = randomGraph(Syms, GetParam());
+  TypeGraph B = randomGraph(Syms, GetParam() + 1000003);
+  bool Incl = graphIncludes(B, A, Syms);
+  bool JoinEq = graphEquals(graphUnion(A, B, Syms), B, Syms);
+  EXPECT_EQ(Incl, JoinEq);
+}
+
+TEST_P(GraphOpsPropertyTest, IntersectBelowUnion) {
+  TypeGraph A = randomGraph(Syms, GetParam());
+  TypeGraph B = randomGraph(Syms, GetParam() + 1000003);
+  EXPECT_TRUE(graphIncludes(graphUnion(A, B, Syms),
+                            graphIntersect(A, B, Syms), Syms));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphOpsPropertyTest,
+                         ::testing::Range(0u, 40u));
+
+} // namespace

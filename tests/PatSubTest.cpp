@@ -1,0 +1,285 @@
+//===- tests/PatSubTest.cpp - Generic pattern domain tests ----------------==//
+///
+/// \file
+/// Tests for Pat(R): abstract unification, frames, same-value
+/// propagation, projection, call-result integration, join/widen/leq —
+/// instantiated with both the type-graph leaf and the one-point
+/// (principal functor) leaf.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pat/PatSub.h"
+
+#include "domains/PFLeaf.h"
+#include "domains/TypeLeaf.h"
+#include "typegraph/GrammarParser.h"
+#include "typegraph/GrammarPrinter.h"
+#include "typegraph/GraphOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+class PatTypeTest : public ::testing::Test {
+protected:
+  PatTypeTest() : Ctx{Syms, {}, {}, nullptr} {}
+
+  TypeGraph parse(const char *Text) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Text, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err;
+    return G ? *G : TypeGraph::makeBottom();
+  }
+
+  bool valueEquals(const TypeGraph &A, const TypeGraph &B) {
+    return graphEquals(A, B, Syms);
+  }
+
+  SymbolTable Syms;
+  TypeLeaf::Context Ctx;
+};
+
+using TSub = PatSub<TypeLeaf>;
+
+TEST_F(PatTypeTest, TopHasAnySlots) {
+  TSub S = TSub::top(Ctx, 3);
+  EXPECT_FALSE(S.isBottom());
+  EXPECT_EQ(S.numSlots(), 3u);
+  EXPECT_TRUE(valueEquals(S.slotValue(Ctx, 0), TypeGraph::makeAny()));
+  EXPECT_FALSE(S.sameValue(0, 1));
+}
+
+TEST_F(PatTypeTest, UnifyVarsSharesValue) {
+  TSub S = TSub::top(Ctx, 2);
+  S.unifyVars(Ctx, 0, 1);
+  EXPECT_TRUE(S.sameValue(0, 1));
+}
+
+TEST_F(PatTypeTest, UnifyFuncCreatesFrame) {
+  // X0 = f(X1).
+  FunctorId F = Syms.functor("f", 1);
+  TSub S = TSub::top(Ctx, 2);
+  S.unifyFunc(Ctx, 0, F, {1});
+  ASSERT_TRUE(S.slotFrame(0).has_value());
+  EXPECT_EQ(*S.slotFrame(0), F);
+  EXPECT_TRUE(valueEquals(S.slotValue(Ctx, 0), parse("T ::= f(Any).")));
+}
+
+TEST_F(PatTypeTest, ConflictingFunctorsFail) {
+  TSub S = TSub::top(Ctx, 1);
+  S.unifyFunc(Ctx, 0, Syms.functor("a", 0), {});
+  S.unifyFunc(Ctx, 0, Syms.functor("b", 0), {});
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(PatTypeTest, RefineSlotMeets) {
+  TSub S = TSub::top(Ctx, 1);
+  S.refineSlot(Ctx, 0, TypeGraph::makeInt());
+  EXPECT_TRUE(valueEquals(S.slotValue(Ctx, 0), TypeGraph::makeInt()));
+  // Now binding to a non-numeric functor must fail.
+  S.unifyFunc(Ctx, 0, Syms.functor("foo", 0), {});
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(PatTypeTest, IntLiteralBelowInt) {
+  TSub S = TSub::top(Ctx, 1);
+  S.refineSlot(Ctx, 0, TypeGraph::makeInt());
+  S.unifyFunc(Ctx, 0, Syms.functor("3", 0), {});
+  EXPECT_FALSE(S.isBottom());
+}
+
+TEST_F(PatTypeTest, LeafTypeSplitsThroughFrame) {
+  // X0 has type [] | cons(Int, list-of-int); X0 = cons(X1, X2) gives
+  // X1 Int and X2 list-of-int.
+  TSub S = TSub::top(Ctx, 3);
+  S.refineSlot(Ctx, 0, parse("T ::= [] | cons(Int,T)."));
+  S.unifyFunc(Ctx, 0, Syms.consFunctor(), {1, 2});
+  ASSERT_FALSE(S.isBottom());
+  EXPECT_TRUE(valueEquals(S.slotValue(Ctx, 1), TypeGraph::makeInt()));
+  EXPECT_TRUE(
+      valueEquals(S.slotValue(Ctx, 2), parse("T ::= [] | cons(Int,T).")));
+}
+
+TEST_F(PatTypeTest, LeafWithoutFunctorFails) {
+  TSub S = TSub::top(Ctx, 3);
+  S.refineSlot(Ctx, 0, parse("T ::= [].\n"));
+  S.unifyFunc(Ctx, 0, Syms.consFunctor(), {1, 2});
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(PatTypeTest, ProjectPreservesSharingAndFrames) {
+  FunctorId F = Syms.functor("f", 2);
+  TSub S = TSub::top(Ctx, 4);
+  S.unifyFunc(Ctx, 0, F, {1, 2});
+  S.unifyVars(Ctx, 2, 3);
+  TSub P = S.project(Ctx, {0, 3});
+  EXPECT_EQ(P.numSlots(), 2u);
+  ASSERT_TRUE(P.slotFrame(0).has_value());
+  // Slot 1 is f's second argument: shared inside the projection.
+  EXPECT_FALSE(P.isBottom());
+}
+
+TEST_F(PatTypeTest, ApplyCallResultTransfersStructure) {
+  // Caller: q(X0) with X0 unconstrained. Callee output: slot0 = [].
+  TSub Caller = TSub::top(Ctx, 1);
+  TSub Out = TSub::top(Ctx, 1);
+  Out.unifyFunc(Ctx, 0, Syms.nilFunctor(), {});
+  Caller.applyCallResult(Ctx, {0}, Out);
+  ASSERT_TRUE(Caller.slotFrame(0).has_value());
+  EXPECT_EQ(*Caller.slotFrame(0), Syms.nilFunctor());
+}
+
+TEST_F(PatTypeTest, ApplyCallResultTransfersSameValue) {
+  // Callee output equates its two arguments; caller must unify them.
+  TSub Caller = TSub::top(Ctx, 2);
+  Caller.refineSlot(Ctx, 0, TypeGraph::makeInt());
+  TSub Out = TSub::top(Ctx, 2);
+  Out.unifyVars(Ctx, 0, 1);
+  Caller.applyCallResult(Ctx, {0, 1}, Out);
+  EXPECT_TRUE(Caller.sameValue(0, 1));
+  // The Int refinement propagates to the other argument.
+  EXPECT_TRUE(valueEquals(Caller.slotValue(Ctx, 1), TypeGraph::makeInt()));
+}
+
+TEST_F(PatTypeTest, ApplyCallResultConflictIsBottom) {
+  TSub Caller = TSub::top(Ctx, 1);
+  Caller.unifyFunc(Ctx, 0, Syms.functor("a", 0), {});
+  TSub Out = TSub::top(Ctx, 1);
+  Out.unifyFunc(Ctx, 0, Syms.functor("b", 0), {});
+  Caller.applyCallResult(Ctx, {0}, Out);
+  EXPECT_TRUE(Caller.isBottom());
+}
+
+TEST_F(PatTypeTest, JoinSameFrameKeepsFrame) {
+  FunctorId F = Syms.functor("f", 1);
+  TSub A = TSub::top(Ctx, 2);
+  A.unifyFunc(Ctx, 0, F, {1});
+  A.refineSlot(Ctx, 1, parse("T ::= a."));
+  TSub B = TSub::top(Ctx, 2);
+  B.unifyFunc(Ctx, 0, F, {1});
+  B.refineSlot(Ctx, 1, parse("T ::= b."));
+  TSub J = TSub::join(Ctx, A, B);
+  ASSERT_TRUE(J.slotFrame(0).has_value());
+  EXPECT_TRUE(valueEquals(J.slotValue(Ctx, 1), parse("T ::= a | b.")));
+}
+
+TEST_F(PatTypeTest, JoinDifferentFramesDropsToTypeGraph) {
+  // Section 5: "When computing an upper-bound of two terms with
+  // different functors, the indices are removed from Pat and replaced
+  // by an equivalent type graph in Type."
+  TSub A = TSub::top(Ctx, 1);
+  A.unifyFunc(Ctx, 0, Syms.nilFunctor(), {});
+  // B: slot0 = cons(slot1, slot2), projected onto slot0.
+  TSub B = TSub::top(Ctx, 3);
+  B.unifyFunc(Ctx, 0, Syms.consFunctor(), {1, 2});
+  TSub BProj = B.project(Ctx, {0});
+  TSub J = TSub::join(Ctx, A, BProj);
+  EXPECT_FALSE(J.slotFrame(0).has_value());
+  EXPECT_TRUE(valueEquals(J.slotValue(Ctx, 0),
+                          parse("T ::= [] | cons(Any,Any).")));
+}
+
+TEST_F(PatTypeTest, JoinWithBottomIsIdentity) {
+  TSub A = TSub::top(Ctx, 1);
+  A.unifyFunc(Ctx, 0, Syms.nilFunctor(), {});
+  TSub B = TSub::bottom(1);
+  TSub J = TSub::join(Ctx, A, B);
+  EXPECT_TRUE(TSub::equal(Ctx, J, A));
+}
+
+TEST_F(PatTypeTest, LeqBasics) {
+  TSub Top = TSub::top(Ctx, 1);
+  TSub Bot = TSub::bottom(1);
+  TSub Nil = TSub::top(Ctx, 1);
+  Nil.unifyFunc(Ctx, 0, Syms.nilFunctor(), {});
+  EXPECT_TRUE(TSub::leq(Ctx, Bot, Nil));
+  EXPECT_TRUE(TSub::leq(Ctx, Nil, Top));
+  EXPECT_FALSE(TSub::leq(Ctx, Top, Nil));
+  EXPECT_TRUE(TSub::leq(Ctx, Nil, Nil));
+}
+
+TEST_F(PatTypeTest, LeqRespectsSameValue) {
+  TSub Shared = TSub::top(Ctx, 2);
+  Shared.unifyVars(Ctx, 0, 1);
+  TSub Unshared = TSub::top(Ctx, 2);
+  // Shared <= Unshared (equality is a stronger constraint)...
+  EXPECT_TRUE(TSub::leq(Ctx, Shared, Unshared));
+  // ...but not the converse.
+  EXPECT_FALSE(TSub::leq(Ctx, Unshared, Shared));
+}
+
+TEST_F(PatTypeTest, WidenUsesLeafWidening) {
+  // Lists growing by one level must widen to the full list type when
+  // frames clash (cons vs deeper cons chains collapse to leaves).
+  TSub Old = TSub::top(Ctx, 1);
+  Old.refineSlot(Ctx, 0, parse("T ::= [] | cons(Any,T1).\nT1 ::= []."));
+  TSub New = TSub::top(Ctx, 1);
+  New.refineSlot(Ctx, 0, parse("T ::= [] | cons(Any,T1).\n"
+                               "T1 ::= [] | cons(Any,T2).\nT2 ::= []."));
+  TSub W = TSub::widen(Ctx, Old, New);
+  EXPECT_TRUE(valueEquals(W.slotValue(Ctx, 0),
+                          parse("T ::= [] | cons(Any,T).")));
+}
+
+TEST_F(PatTypeTest, RationalUnificationTerminates) {
+  // X = f(Y), X = Y creates a rational structure; operations must
+  // terminate and stay sound.
+  FunctorId F = Syms.functor("f", 1);
+  TSub S = TSub::top(Ctx, 2);
+  S.unifyFunc(Ctx, 0, F, {1});
+  S.unifyVars(Ctx, 0, 1);
+  ASSERT_FALSE(S.isBottom());
+  TypeGraph V = S.slotValue(Ctx, 0);
+  // The value is an over-approximation containing f(...).
+  EXPECT_TRUE(graphIncludes(V, parse("T ::= f(Any)."), Syms));
+}
+
+//===----------------------------------------------------------------------===//
+// The principal-functor instantiation.
+//===----------------------------------------------------------------------===//
+
+class PatPFTest : public ::testing::Test {
+protected:
+  PatPFTest() : Ctx{Syms} {}
+  SymbolTable Syms;
+  PFLeaf::Context Ctx;
+};
+
+using PSub = PatSub<PFLeaf>;
+
+TEST_F(PatPFTest, FramesStillWork) {
+  PSub S = PSub::top(Ctx, 2);
+  S.unifyFunc(Ctx, 0, Syms.functor("f", 1), {1});
+  ASSERT_TRUE(S.slotFrame(0).has_value());
+  // Conflicting functor fails even without leaf information.
+  S.unifyFunc(Ctx, 0, Syms.functor("g", 1), {1});
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(PatPFTest, JoinLosesClashingFrames) {
+  PSub A = PSub::top(Ctx, 1);
+  A.unifyFunc(Ctx, 0, Syms.functor("a", 0), {});
+  PSub B = PSub::top(Ctx, 1);
+  B.unifyFunc(Ctx, 0, Syms.functor("b", 0), {});
+  PSub J = PSub::join(Ctx, A, B);
+  // The one-point leaf cannot represent the disjunction.
+  EXPECT_FALSE(J.slotFrame(0).has_value());
+  EXPECT_TRUE(PSub::leq(Ctx, A, J));
+  EXPECT_TRUE(PSub::leq(Ctx, B, J));
+}
+
+TEST_F(PatPFTest, SameValueStillTracked) {
+  PSub S = PSub::top(Ctx, 2);
+  S.unifyVars(Ctx, 0, 1);
+  EXPECT_TRUE(S.sameValue(0, 1));
+}
+
+TEST_F(PatPFTest, LeafRestrictionAlwaysSucceeds) {
+  PSub S = PSub::top(Ctx, 3);
+  S.unifyFunc(Ctx, 0, Syms.consFunctor(), {1, 2});
+  EXPECT_FALSE(S.isBottom());
+}
+
+} // namespace

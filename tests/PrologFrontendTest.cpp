@@ -1,0 +1,207 @@
+//===- tests/PrologFrontendTest.cpp - Lexer/parser/program tests ----------==//
+///
+/// \file
+/// Unit tests for the Prolog front end: tokenization, operator
+/// precedence parsing, list/string syntax, program assembly, and error
+/// reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "prolog/Lexer.h"
+#include "prolog/Parser.h"
+#include "prolog/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+std::vector<Token> lexAll(const char *Src) {
+  Lexer L(Src);
+  std::vector<Token> Toks;
+  while (true) {
+    Token T = L.next();
+    bool Done = T.Kind == TokKind::Eof || T.Kind == TokKind::Error;
+    Toks.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Toks;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto Toks = lexAll("foo(X, 42) :- bar.");
+  ASSERT_EQ(Toks.size(), 10u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Atom);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Kind, TokKind::LParenF);
+  EXPECT_EQ(Toks[2].Kind, TokKind::Var);
+  EXPECT_EQ(Toks[2].Text, "X");
+  EXPECT_EQ(Toks[3].Kind, TokKind::Comma);
+  EXPECT_EQ(Toks[4].Kind, TokKind::Int);
+  EXPECT_EQ(Toks[4].IntVal, 42);
+  EXPECT_EQ(Toks[5].Kind, TokKind::RParen);
+  EXPECT_EQ(Toks[6].Kind, TokKind::Atom);
+  EXPECT_EQ(Toks[6].Text, ":-");
+  EXPECT_EQ(Toks[7].Kind, TokKind::Atom);
+  EXPECT_EQ(Toks[8].Kind, TokKind::End);
+  EXPECT_EQ(Toks[9].Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Toks = lexAll("a. % line comment\n/* block\ncomment */ b.");
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[2].Text, "b");
+}
+
+TEST(LexerTest, QuotedAtomsAndEscapes) {
+  auto Toks = lexAll("'hello world'. 'it''s'. '\\n'.");
+  EXPECT_EQ(Toks[0].Text, "hello world");
+  EXPECT_EQ(Toks[2].Text, "it's");
+  EXPECT_EQ(Toks[4].Text, "\n");
+}
+
+TEST(LexerTest, SymbolicAtomsVsEndDot) {
+  auto Toks = lexAll("X =.. L.");
+  ASSERT_GE(Toks.size(), 4u);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Atom);
+  EXPECT_EQ(Toks[1].Text, "=..");
+  EXPECT_EQ(Toks[3].Kind, TokKind::End);
+}
+
+TEST(LexerTest, CharCodeLiterals) {
+  auto Toks = lexAll("0'a.");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Int);
+  EXPECT_EQ(Toks[0].IntVal, 97);
+}
+
+TEST(LexerTest, ParenAfterSpaceIsNotFunctorParen) {
+  auto Toks = lexAll("foo (X).");
+  EXPECT_EQ(Toks[1].Kind, TokKind::LParen);
+}
+
+class ParserTest : public ::testing::Test {
+protected:
+  Term parseOne(const char *Src) {
+    Parser P(Src, Syms);
+    std::optional<Term> T = P.parseClause();
+    EXPECT_TRUE(T.has_value()) << P.error();
+    return T ? *T : Term::mkAtom(Syms.intern("$error"));
+  }
+
+  std::string str(const Term &T) { return T.toString(Syms); }
+
+  SymbolTable Syms;
+};
+
+TEST_F(ParserTest, OperatorPrecedence) {
+  EXPECT_EQ(str(parseOne("X is 1 + 2 * 3.")), "is(X,+(1,*(2,3)))");
+  EXPECT_EQ(str(parseOne("X is 1 * 2 + 3.")), "is(X,+(*(1,2),3))");
+  EXPECT_EQ(str(parseOne("X is (1 + 2) * 3.")), "is(X,*(+(1,2),3))");
+  // yfx associates left.
+  EXPECT_EQ(str(parseOne("X is 1 - 2 - 3.")), "is(X,-(-(1,2),3))");
+}
+
+TEST_F(ParserTest, ClauseStructure) {
+  Term T = parseOne("p(X) :- q(X), r(X).");
+  EXPECT_EQ(str(T), ":-(p(X),,(q(X),r(X)))");
+}
+
+TEST_F(ParserTest, ListSyntax) {
+  EXPECT_EQ(str(parseOne("p([]).")), "p([])");
+  EXPECT_EQ(str(parseOne("p([a,b]).")), "p([a,b])");
+  EXPECT_EQ(str(parseOne("p([H|T]).")), "p([H|T])");
+  EXPECT_EQ(str(parseOne("p([a,b|T]).")), "p([a,b|T])");
+}
+
+TEST_F(ParserTest, NegativeNumbers) {
+  EXPECT_EQ(str(parseOne("p(-3).")), "p(-3)");
+  EXPECT_EQ(str(parseOne("X is -3 + 1.")), "is(X,+(-3,1))");
+}
+
+TEST_F(ParserTest, PrefixOperators) {
+  EXPECT_EQ(str(parseOne("p :- \\+ q.")), ":-(p,\\+(q))");
+  EXPECT_EQ(str(parseOne("p :- not q.")), ":-(p,not(q))");
+}
+
+TEST_F(ParserTest, IfThenElse) {
+  Term T = parseOne("p :- (a -> b ; c).");
+  EXPECT_EQ(str(T), ":-(p,;(->(a,b),c))");
+}
+
+TEST_F(ParserTest, StringsAreCodeLists) {
+  Term T = parseOne("p(\"ab\").");
+  EXPECT_EQ(str(T), "p([97,98])");
+}
+
+TEST_F(ParserTest, UnderscoreVarsAreDistinct) {
+  Term T = parseOne("p(_, _).");
+  ASSERT_TRUE(T.isCompound());
+  EXPECT_NE(T.args()[0].name(), T.args()[1].name());
+}
+
+TEST_F(ParserTest, CurlyBraces) {
+  EXPECT_EQ(str(parseOne("p({}).")), "p({})");
+  EXPECT_EQ(str(parseOne("p({a,b}).")), "p({}(,(a,b)))");
+}
+
+TEST_F(ParserTest, QuotedAtomTerms) {
+  EXPECT_EQ(str(parseOne("p('hello world').")), "p(hello world)");
+}
+
+TEST_F(ParserTest, OperatorPrecedenceTopLevel) {
+  // ';' binds looser than ','.
+  Term T = parseOne("p :- a, b ; c.");
+  EXPECT_EQ(str(T), ":-(p,;(,(a,b),c))");
+}
+
+class ProgramTest : public ::testing::Test {
+protected:
+  Program parseProg(const char *Src) {
+    std::string Err;
+    std::optional<Program> P = Program::parse(Src, Syms, &Err);
+    EXPECT_TRUE(P.has_value()) << Err;
+    return P ? *P : Program();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(ProgramTest, GroupsClausesByPredicate) {
+  Program P = parseProg("append([],X,X).\n"
+                        "append([F|T],S,[F|R]) :- append(T,S,R).\n"
+                        "nrev([],[]).\n"
+                        "nrev([F|T],R) :- nrev(T,RT), append(RT,[F],R).\n");
+  EXPECT_EQ(P.procedures().size(), 2u);
+  const Procedure *App = P.find(Syms.functor("append", 3));
+  ASSERT_NE(App, nullptr);
+  EXPECT_EQ(App->Clauses.size(), 2u);
+  EXPECT_EQ(App->Clauses[0].Body.size(), 0u);
+  EXPECT_EQ(App->Clauses[1].Body.size(), 1u);
+  EXPECT_EQ(P.numClauses(), 4u);
+}
+
+TEST_F(ProgramTest, DirectivesAreCollected) {
+  Program P = parseProg(":- module(foo).\na.\n");
+  EXPECT_EQ(P.directives().size(), 1u);
+  EXPECT_EQ(P.procedures().size(), 1u);
+}
+
+TEST_F(ProgramTest, BodyConjunctionIsFlattened) {
+  Program P = parseProg("p :- a, b, c, d.\n");
+  const Procedure *Proc = P.find(Syms.functor("p", 0));
+  ASSERT_NE(Proc, nullptr);
+  EXPECT_EQ(Proc->Clauses[0].Body.size(), 4u);
+}
+
+TEST_F(ProgramTest, SyntaxErrorsAreReported) {
+  std::string Err;
+  EXPECT_FALSE(Program::parse("p :- q", Syms, &Err).has_value());
+  EXPECT_NE(Err.find("line"), std::string::npos);
+  EXPECT_FALSE(Program::parse("p :- (a, b.", Syms, &Err).has_value());
+  EXPECT_FALSE(Program::parse("3.", Syms, &Err).has_value());
+}
+
+} // namespace

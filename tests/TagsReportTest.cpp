@@ -1,0 +1,174 @@
+//===- tests/TagsReportTest.cpp - Tag extraction and report tests ---------==//
+///
+/// \file
+/// Unit tests for the Tables 4/5 machinery: tag extraction from type
+/// graphs, the improvement relation, input pattern parsing, and the
+/// table formatting helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/InputPattern.h"
+#include "core/Report.h"
+#include "core/Tags.h"
+#include "typegraph/GrammarParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+class TagsTest : public ::testing::Test {
+protected:
+  ArgTag tagOf(const char *Grammar) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Grammar, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err;
+    return tagForGraph(*G, Syms);
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(TagsTest, EmptyListIsNI) {
+  EXPECT_EQ(tagOf("T ::= []."), ArgTag::NI);
+}
+
+TEST_F(TagsTest, ConsOnlyIsCO) {
+  EXPECT_EQ(tagOf("T ::= cons(Any,Any)."), ArgTag::CO);
+  EXPECT_EQ(tagOf("T ::= cons(Any,T1).\nT1 ::= [] | cons(Any,T1)."),
+            ArgTag::CO);
+}
+
+TEST_F(TagsTest, ListIsLI) {
+  EXPECT_EQ(tagOf("T ::= [] | cons(Any,T)."), ArgTag::LI);
+  // Mixed []/cons even without recursion:
+  EXPECT_EQ(tagOf("T ::= [] | cons(Any,Any)."), ArgTag::LI);
+}
+
+TEST_F(TagsTest, StructuresAreST) {
+  EXPECT_EQ(tagOf("T ::= f(Any)."), ArgTag::ST);
+  EXPECT_EQ(tagOf("T ::= f(Any) | g(Any,Any)."), ArgTag::ST);
+  // cons mixed with another structure is still "structure".
+  EXPECT_EQ(tagOf("T ::= cons(Any,Any) | f(Any)."), ArgTag::ST);
+}
+
+TEST_F(TagsTest, AtomsAreDI) {
+  EXPECT_EQ(tagOf("T ::= a."), ArgTag::DI);
+  EXPECT_EQ(tagOf("T ::= a | b | c."), ArgTag::DI);
+  EXPECT_EQ(tagOf("T ::= Int."), ArgTag::DI);
+  EXPECT_EQ(tagOf("T ::= 0 | a."), ArgTag::DI);
+}
+
+TEST_F(TagsTest, MixedIsHY) {
+  EXPECT_EQ(tagOf("T ::= a | f(Any)."), ArgTag::HY);
+  EXPECT_EQ(tagOf("T ::= Int | f(Any)."), ArgTag::HY);
+  // [] with a non-cons structure: still "structure or atom".
+  EXPECT_EQ(tagOf("T ::= [] | f(Any)."), ArgTag::HY);
+}
+
+TEST_F(TagsTest, AnyHasNoTag) {
+  EXPECT_EQ(tagForGraph(TypeGraph::makeAny(), Syms), ArgTag::None);
+  EXPECT_EQ(tagForGraph(TypeGraph::makeBottom(), Syms), ArgTag::None);
+}
+
+TEST_F(TagsTest, ListOfListsIsLI) {
+  EXPECT_EQ(tagOf("T ::= [] | cons(T1,T).\nT1 ::= [] | cons(Any,T1)."),
+            ArgTag::LI);
+}
+
+TEST_F(TagsTest, ImprovementRelation) {
+  using T = ArgTag;
+  // Gaining any tag over none is an improvement.
+  EXPECT_TRUE(tagImproves(T::LI, T::None));
+  EXPECT_TRUE(tagImproves(T::HY, T::None));
+  EXPECT_FALSE(tagImproves(T::None, T::None));
+  // Refinements.
+  EXPECT_TRUE(tagImproves(T::CO, T::ST));
+  EXPECT_TRUE(tagImproves(T::NI, T::DI));
+  EXPECT_TRUE(tagImproves(T::CO, T::LI));
+  EXPECT_TRUE(tagImproves(T::NI, T::LI));
+  EXPECT_TRUE(tagImproves(T::ST, T::HY));
+  // Non-improvements.
+  EXPECT_FALSE(tagImproves(T::LI, T::LI));
+  EXPECT_FALSE(tagImproves(T::ST, T::CO));
+  EXPECT_FALSE(tagImproves(T::DI, T::NI));
+  EXPECT_FALSE(tagImproves(T::None, T::DI));
+  EXPECT_FALSE(tagImproves(T::HY, T::ST));
+}
+
+TEST_F(TagsTest, TagNames) {
+  EXPECT_STREQ(tagName(ArgTag::NI), "NI");
+  EXPECT_STREQ(tagName(ArgTag::CO), "CO");
+  EXPECT_STREQ(tagName(ArgTag::LI), "LI");
+  EXPECT_STREQ(tagName(ArgTag::ST), "ST");
+  EXPECT_STREQ(tagName(ArgTag::DI), "DI");
+  EXPECT_STREQ(tagName(ArgTag::HY), "HY");
+  EXPECT_STREQ(tagName(ArgTag::None), "--");
+}
+
+TEST(InputPatternTest, ParsesBasicSpecs) {
+  std::string Err;
+  auto P = parseInputPattern("nreverse(any,any)", &Err);
+  ASSERT_TRUE(P.has_value()) << Err;
+  EXPECT_EQ(P->PredName, "nreverse");
+  ASSERT_EQ(P->arity(), 2u);
+  EXPECT_EQ(P->Args[0], ArgSpec::Any);
+
+  P = parseInputPattern("qsort(list, any)");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Args[0], ArgSpec::List);
+
+  P = parseInputPattern("f(int,intlist)");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Args[0], ArgSpec::Int);
+  EXPECT_EQ(P->Args[1], ArgSpec::IntList);
+}
+
+TEST(InputPatternTest, ParsesZeroArity) {
+  auto P = parseInputPattern("main");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->arity(), 0u);
+}
+
+TEST(InputPatternTest, RejectsMalformedSpecs) {
+  std::string Err;
+  EXPECT_FALSE(parseInputPattern("", &Err).has_value());
+  EXPECT_FALSE(parseInputPattern("p(bogus)", &Err).has_value());
+  EXPECT_NE(Err.find("bogus"), std::string::npos);
+  EXPECT_FALSE(parseInputPattern("p(any", &Err).has_value());
+  EXPECT_FALSE(parseInputPattern("(any)", &Err).has_value());
+}
+
+TEST(ReportTest, RowFormattingIsStable) {
+  SizeMetrics M;
+  M.NumProcedures = 44;
+  M.NumClauses = 82;
+  M.NumProgramPoints = 475;
+  M.NumGoals = 84;
+  M.StaticCallTreeSize = 73;
+  std::string Row = formatSizeRow("KA", M);
+  EXPECT_NE(Row.find("KA"), std::string::npos);
+  EXPECT_NE(Row.find("44"), std::string::npos);
+  EXPECT_NE(Row.find("475"), std::string::npos);
+
+  RecursionMetrics RM;
+  RM.TailRecursive = 12;
+  RM.MutuallyRecursive = 7;
+  RM.NonRecursive = 25;
+  std::string RRow = formatRecursionRow("KA", RM);
+  EXPECT_NE(RRow.find("12"), std::string::npos);
+
+  TagTally T;
+  T.Type[static_cast<size_t>(ArgTag::LI)] = 20;
+  T.PF[static_cast<size_t>(ArgTag::CO)] = 11;
+  T.A = 124;
+  T.AI = 34;
+  T.C = 45;
+  T.CI = 22;
+  std::string TagRow = formatTagRow("KA", T);
+  EXPECT_NE(TagRow.find("124"), std::string::npos);
+  EXPECT_NE(TagRow.find("0.27"), std::string::npos);
+}
+
+} // namespace

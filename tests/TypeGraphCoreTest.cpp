@@ -1,0 +1,177 @@
+//===- tests/TypeGraphCoreTest.cpp - Representation-level tests -----------==//
+///
+/// \file
+/// Unit tests for the type-graph representation: canonical graphs,
+/// topology, pf-sets, compaction, the size metric, and the validator for
+/// every cosmetic restriction of Section 6.4/6.5.
+///
+//===----------------------------------------------------------------------===//
+
+#include "typegraph/TypeGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+class TypeGraphCoreTest : public ::testing::Test {
+protected:
+  SymbolTable Syms;
+};
+
+TEST_F(TypeGraphCoreTest, BottomGraphIsBottom) {
+  TypeGraph G = TypeGraph::makeBottom();
+  EXPECT_TRUE(G.isBottomGraph());
+  EXPECT_TRUE(G.validate(Syms));
+}
+
+TEST_F(TypeGraphCoreTest, AnyGraphValidates) {
+  TypeGraph G = TypeGraph::makeAny();
+  EXPECT_FALSE(G.isBottomGraph());
+  EXPECT_TRUE(G.validate(Syms));
+  EXPECT_EQ(G.node(G.root()).Kind, NodeKind::Or);
+  ASSERT_EQ(G.node(G.root()).Succs.size(), 1u);
+  EXPECT_EQ(G.node(G.node(G.root()).Succs[0]).Kind, NodeKind::Any);
+}
+
+TEST_F(TypeGraphCoreTest, IntGraphValidates) {
+  TypeGraph G = TypeGraph::makeInt();
+  EXPECT_TRUE(G.validate(Syms));
+  std::vector<FunctorId> Pf = G.pfSet(G.root(), Syms);
+  ASSERT_EQ(Pf.size(), 1u);
+  EXPECT_EQ(Pf[0], Syms.intFunctor());
+}
+
+TEST_F(TypeGraphCoreTest, FunctorOfAnyHasRightShape) {
+  FunctorId F = Syms.functor("tree", 3);
+  TypeGraph G = TypeGraph::makeFunctorOfAny(Syms, F);
+  ASSERT_TRUE(G.validate(Syms));
+  const TGNode &Root = G.node(G.root());
+  ASSERT_EQ(Root.Succs.size(), 1u);
+  const TGNode &Func = G.node(Root.Succs[0]);
+  EXPECT_EQ(Func.Kind, NodeKind::Func);
+  EXPECT_EQ(Func.Fn, F);
+  EXPECT_EQ(Func.Succs.size(), 3u);
+}
+
+TEST_F(TypeGraphCoreTest, AnyListValidatesAndHasCycle) {
+  TypeGraph G = TypeGraph::makeAnyList(Syms);
+  std::string Why;
+  ASSERT_TRUE(G.validate(Syms, &Why)) << Why;
+  std::vector<FunctorId> Pf = G.pfSet(G.root(), Syms);
+  ASSERT_EQ(Pf.size(), 2u);
+  // pf-set is sorted by functor id; membership is what matters.
+  EXPECT_TRUE((Pf[0] == Syms.consFunctor() && Pf[1] == Syms.nilFunctor()) ||
+              (Pf[1] == Syms.consFunctor() && Pf[0] == Syms.nilFunctor()));
+}
+
+TEST_F(TypeGraphCoreTest, TopologyDepthsMatchPaperConvention) {
+  // Paper: depth of a vertex is the length of the shortest path from the
+  // root, so the root has depth 1.
+  TypeGraph G = TypeGraph::makeAnyList(Syms);
+  TypeGraph::Topology T = G.computeTopology();
+  EXPECT_EQ(T.Depth[G.root()], 1u);
+  for (NodeId S : G.node(G.root()).Succs)
+    EXPECT_EQ(T.Depth[S], 2u);
+  EXPECT_EQ(T.Parent[G.root()], InvalidNode);
+}
+
+TEST_F(TypeGraphCoreTest, CompactDropsUnreachable) {
+  TypeGraph G = TypeGraph::makeAny();
+  // Add garbage nodes not connected to the root.
+  G.addInt();
+  G.addOr({});
+  EXPECT_EQ(G.numNodes(), 4u);
+  TypeGraph C = G.compact();
+  EXPECT_EQ(C.numNodes(), 2u);
+  EXPECT_TRUE(C.validate(Syms));
+}
+
+TEST_F(TypeGraphCoreTest, SizeMetricCountsVerticesAndEdges) {
+  // Or -> Any: 2 vertices + 1 edge = 3.
+  EXPECT_EQ(TypeGraph::makeAny().sizeMetric(), 3u);
+  // List graph: or(2) + nil(0) + cons(2: head-or + back edge) +
+  // head-or(1: any) + any = 5 vertices + 5 edges.
+  EXPECT_EQ(TypeGraph::makeAnyList(Syms).sizeMetric(), 10u);
+}
+
+TEST_F(TypeGraphCoreTest, ValidateRejectsFuncRoot) {
+  TypeGraph G;
+  G.setRoot(G.addFunc(Syms.nilFunctor(), {}));
+  std::string Why;
+  EXPECT_FALSE(G.validate(Syms, &Why));
+  EXPECT_NE(Why.find("Flip-Flop"), std::string::npos);
+}
+
+TEST_F(TypeGraphCoreTest, ValidateRejectsDuplicateFunctors) {
+  // Or with two f/0 successors violates the principal functor restriction.
+  TypeGraph G;
+  FunctorId F = Syms.functor("f", 0);
+  NodeId A = G.addFunc(F, {});
+  NodeId B = G.addFunc(F, {});
+  G.setRoot(G.addOr({A, B}));
+  std::string Why;
+  EXPECT_FALSE(G.validate(Syms, &Why));
+  EXPECT_NE(Why.find("Principal-Functor"), std::string::npos);
+}
+
+TEST_F(TypeGraphCoreTest, ValidateRejectsAnyAmongOthers) {
+  TypeGraph G;
+  NodeId A = G.addAny();
+  NodeId B = G.addFunc(Syms.nilFunctor(), {});
+  G.setRoot(G.addOr({A, B}));
+  std::string Why;
+  EXPECT_FALSE(G.validate(Syms, &Why));
+  EXPECT_NE(Why.find("Isolated-Any"), std::string::npos);
+}
+
+TEST_F(TypeGraphCoreTest, ValidateRejectsSharing) {
+  // Two functor vertices sharing one argument or-vertex (a DAG) violate
+  // No-Sharing.
+  TypeGraph G;
+  NodeId Leaf = G.addAny();
+  NodeId Shared = G.addOr({Leaf});
+  FunctorId F = Syms.functor("f", 1);
+  FunctorId H = Syms.functor("g", 1);
+  NodeId FN = G.addFunc(F, {Shared});
+  NodeId GN = G.addFunc(H, {Shared});
+  G.setRoot(G.addOr({FN, GN}));
+  std::string Why;
+  EXPECT_FALSE(G.validate(Syms, &Why));
+  EXPECT_NE(Why.find("No-Sharing"), std::string::npos);
+}
+
+TEST_F(TypeGraphCoreTest, ValidateRejectsUnsortedOr) {
+  TypeGraph G;
+  NodeId B = G.addFunc(Syms.functor("b", 0), {});
+  NodeId A = G.addFunc(Syms.functor("a", 0), {});
+  G.setRoot(G.addOr({B, A}));
+  std::string Why;
+  EXPECT_FALSE(G.validate(Syms, &Why));
+  EXPECT_NE(Why.find("sorted"), std::string::npos);
+  G.sortOrSuccessors(Syms);
+  EXPECT_TRUE(G.validate(Syms, &Why)) << Why;
+}
+
+TEST_F(TypeGraphCoreTest, ValidateRejectsIntLiteralBesideInt) {
+  TypeGraph G;
+  NodeId I = G.addInt();
+  NodeId Zero = G.addFunc(Syms.functor("0", 0), {});
+  G.setRoot(G.addOr({I, Zero}));
+  G.sortOrSuccessors(Syms);
+  std::string Why;
+  EXPECT_FALSE(G.validate(Syms, &Why));
+  EXPECT_NE(Why.find("literal"), std::string::npos);
+}
+
+TEST_F(TypeGraphCoreTest, IsIntegerLiteralRecognition) {
+  EXPECT_TRUE(Syms.isIntegerLiteral(Syms.functor("0", 0)));
+  EXPECT_TRUE(Syms.isIntegerLiteral(Syms.functor("42", 0)));
+  EXPECT_TRUE(Syms.isIntegerLiteral(Syms.functor("-7", 0)));
+  EXPECT_FALSE(Syms.isIntegerLiteral(Syms.functor("x1", 0)));
+  EXPECT_FALSE(Syms.isIntegerLiteral(Syms.functor("1", 1)));
+  EXPECT_FALSE(Syms.isIntegerLiteral(Syms.functor("-", 0)));
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/WideningExtensionsTest.cpp - Extensions of Section 7 ---------==//
+///
+/// \file
+/// Tests for the two widening variants beyond the paper's measured
+/// configuration:
+///   - the depth-k truncation baseline (the finite-subdomain approach
+///     Section 7 contrasts the widening against), and
+///   - the type database of the paper's conclusion ("providing a
+///     database of types that the widening can use whenever an ancestor
+///     must be selected and/or replaced").
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "programs/Benchmarks.h"
+#include "typegraph/GrammarParser.h"
+#include "typegraph/GrammarPrinter.h"
+#include "typegraph/GraphOps.h"
+#include "typegraph/Widening.h"
+
+#include <gtest/gtest.h>
+
+using namespace gaia;
+
+namespace {
+
+class WideningExtensionsTest : public ::testing::Test {
+protected:
+  TypeGraph parse(const char *Text) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Text, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err;
+    return G ? *G : TypeGraph::makeBottom();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(WideningExtensionsTest, DepthKTruncatesInsteadOfCycling) {
+  // The paper's widening turns the growing list iterates into the
+  // recursive list type; depth-k truncation yields a bounded prefix
+  // with an Any tail — strictly less precise.
+  TypeGraph Old = parse("T ::= [] | cons(Any,T1).\nT1 ::= [].");
+  TypeGraph New = parse("T ::= [] | cons(Any,T1).\n"
+                        "T1 ::= [] | cons(Any,T2).\nT2 ::= [].");
+  WideningOptions DepthOpts;
+  DepthOpts.Mode = WidenMode::DepthK;
+  DepthOpts.DepthK = 2;
+  TypeGraph WDepth = graphWiden(Old, New, Syms, DepthOpts);
+  TypeGraph WPaper = graphWiden(Old, New, Syms);
+  // Both are upper bounds...
+  EXPECT_TRUE(graphIncludes(WDepth, New, Syms));
+  EXPECT_TRUE(graphIncludes(WPaper, New, Syms));
+  // ...but depth-k is strictly coarser: it contains the paper's result
+  // and also junk like cons(Any, cons(Any, f(Any))).
+  EXPECT_TRUE(graphIncludes(WDepth, WPaper, Syms));
+  EXPECT_FALSE(graphIncludes(WPaper, WDepth, Syms))
+      << printGrammar(WDepth, Syms);
+}
+
+TEST_F(WideningExtensionsTest, DepthKChainsTerminate) {
+  WideningOptions Opts;
+  Opts.Mode = WidenMode::DepthK;
+  Opts.DepthK = 3;
+  TypeGraph Acc = TypeGraph::makeBottom();
+  unsigned Changes = 0;
+  for (unsigned Depth = 1; Depth <= 10; ++Depth) {
+    // Ever deeper exact lists.
+    TypeGraph Step = TypeGraph::makeBottom();
+    {
+      TypeGraph G;
+      NodeId Tail = G.addOr({G.addFunc(Syms.nilFunctor(), {})});
+      for (unsigned D = 0; D != Depth; ++D) {
+        NodeId Elem = G.addOr({G.addAny()});
+        NodeId Cons = G.addFunc(Syms.consFunctor(), {Elem, Tail});
+        Tail = G.addOr({G.addFunc(Syms.nilFunctor(), {}), Cons});
+      }
+      G.setRoot(Tail);
+      Step = normalizeGraph(G, Syms);
+    }
+    TypeGraph Next = graphWiden(Acc, Step, Syms, Opts);
+    if (!graphEquals(Next, Acc, Syms))
+      ++Changes;
+    Acc = Next;
+  }
+  // Must stabilize well before the end (the domain is finite).
+  EXPECT_LE(Changes, 4u);
+}
+
+TEST_F(WideningExtensionsTest, DatabaseGuidesReplacement) {
+  // Figure 6 scenario with the list type poisoned out: give the
+  // database the exact arithmetic-expression type; the replacement rule
+  // must pick it (DatabaseHits > 0) and produce at least as precise a
+  // result as the collapsing union.
+  TypeGraph Old = parse("To ::= 0 | +(Z,T1).\nZ ::= 0.\n"
+                        "T1 ::= 1 | *(T1,T2).\n"
+                        "T2 ::= cst(Any) | par(To) | var(Any).");
+  TypeGraph New = parse("Tn ::= 0 | +(T3,T6).\n"
+                        "T3 ::= 0 | +(Z,T4).\nZ ::= 0.\n"
+                        "T4 ::= 1 | *(T4,T5).\n"
+                        "T5 ::= cst(Any) | par(Tn) | var(Any).\n"
+                        "T6 ::= 1 | *(T6,T7).\n"
+                        "T7 ::= cst(Any) | par(T3) | var(Any).");
+  std::vector<TypeGraph> DB;
+  DB.push_back(parse("Tr ::= 0 | +(Tr,T1).\n"
+                     "T1 ::= 1 | *(T1,T2).\n"
+                     "T2 ::= cst(Any) | par(Tr) | var(Any)."));
+  WideningOptions Opts;
+  Opts.Database = &DB;
+  WideningStats Stats;
+  TypeGraph W = graphWiden(Old, New, Syms, Opts, &Stats);
+  EXPECT_GE(Stats.DatabaseHits, 1u);
+  EXPECT_TRUE(graphEquals(W, DB[0], Syms)) << printGrammar(W, Syms);
+}
+
+TEST_F(WideningExtensionsTest, DatabaseIgnoredWhenNotCovering) {
+  // A database type that does not cover the clash vertices must not be
+  // used; the result equals the plain widening.
+  TypeGraph Old = parse("T ::= cst(Any) | var(Any).");
+  TypeGraph New = parse("T ::= cst(Any) | par(Z) | var(Any).\nZ ::= 0.");
+  std::vector<TypeGraph> DB;
+  DB.push_back(TypeGraph::makeAnyList(Syms)); // irrelevant list type
+  WideningOptions Opts;
+  Opts.Database = &DB;
+  WideningStats Stats;
+  TypeGraph W = graphWiden(Old, New, Syms, Opts, &Stats);
+  EXPECT_EQ(Stats.DatabaseHits, 0u);
+  EXPECT_TRUE(graphEquals(W, New, Syms));
+}
+
+TEST_F(WideningExtensionsTest, AnalyzerDepthKLosesListTypes) {
+  const BenchmarkProgram *B = findBenchmark("nreverse");
+  AnalyzerOptions DepthOpts;
+  DepthOpts.Widening = WidenMode::DepthK;
+  DepthOpts.DepthK = 3;
+  AnalysisResult RDepth = analyzeProgram(B->Source, B->GoalSpec,
+                                         DepthOpts);
+  AnalysisResult RPaper = analyzeProgram(B->Source, B->GoalSpec);
+  ASSERT_TRUE(RDepth.Ok);
+  ASSERT_TRUE(RPaper.Ok);
+  ASSERT_TRUE(RDepth.QuerySucceeds);
+  // Paper widening: exact list type. Depth-k: strictly coarser.
+  EXPECT_TRUE(graphIncludes(RDepth.QueryOutput[0], RPaper.QueryOutput[0],
+                            *RDepth.Syms));
+  EXPECT_FALSE(graphEquals(RDepth.QueryOutput[0], RPaper.QueryOutput[0],
+                           *RDepth.Syms))
+      << printGrammar(RDepth.QueryOutput[0], *RDepth.Syms);
+}
+
+TEST_F(WideningExtensionsTest, AnalyzerTypeDatabaseOption) {
+  const BenchmarkProgram *B = findBenchmark("AR1");
+  AnalyzerOptions Opts;
+  Opts.TypeDatabase.push_back(
+      "T ::= *(T1,T2) | +(T,T1) | cst(Any) | par(T) | var(Any).\n"
+      "T1 ::= *(T1,T2) | cst(Any) | par(T) | var(Any).\n"
+      "T2 ::= cst(Any) | par(T) | var(Any).");
+  AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.QuerySucceeds);
+  // The result is still the paper-optimal one.
+  std::string Err;
+  TypeGraph Want = *parseGrammar(
+      "T ::= *(T1,T2) | +(T,T1) | cst(Any) | par(T) | var(Any).\n"
+      "T1 ::= *(T1,T2) | cst(Any) | par(T) | var(Any).\n"
+      "T2 ::= cst(Any) | par(T) | var(Any).",
+      *R.Syms, &Err);
+  EXPECT_TRUE(graphEquals(R.QueryOutput[0], Want, *R.Syms));
+}
+
+TEST_F(WideningExtensionsTest, BadDatabaseGrammarIsReported) {
+  const BenchmarkProgram *B = findBenchmark("nreverse");
+  AnalyzerOptions Opts;
+  Opts.TypeDatabase.push_back("not a grammar ::=");
+  AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("type database"), std::string::npos);
+}
+
+} // namespace
