@@ -2,6 +2,8 @@
 
 #include "programs/Benchmarks.h"
 
+#include "support/Debug.h"
+
 using namespace gaia;
 
 //===----------------------------------------------------------------------===//
@@ -296,8 +298,12 @@ const std::vector<BenchmarkProgram> &gaia::benchmarkSuite() {
       for (const BenchmarkProgram &P : section2Examples())
         if (P.Key == Key)
           return P;
-      static BenchmarkProgram Missing;
-      return Missing;
+      // A missing key is a registry bug; returning a placeholder would
+      // silently poison the whole suite.
+      GAIA_UNREACHABLE(
+          (std::string("benchmarkSuite: unknown benchmark key '") + Key +
+           "'")
+              .c_str());
     };
     V.push_back(Find("AR"));
     V.push_back(Find("AR1"));

@@ -10,11 +10,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analyzer.h"
+#include "core/InputPattern.h"
 #include "core/Report.h"
 #include "programs/Benchmarks.h"
 #include "programs/PaperData.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 using namespace gaia;
 
@@ -143,6 +146,88 @@ TEST(BenchmarkRegistryTest, LVariantsAnalyze) {
 
 TEST(BenchmarkRegistryTest, FindBenchmarkUnknownKey) {
   EXPECT_EQ(findBenchmark("NOPE"), nullptr);
+}
+
+// Registry integrity: every registered program is well-formed and
+// resolvable. Guards against a key typo or an empty reconstruction
+// silently poisoning the suite.
+TEST(BenchmarkRegistryTest, KeysUniqueAndNonEmpty) {
+  // benchmarkSuite deliberately reuses entries from the other two
+  // registries (AR/AR1 and the Table 1/2/3 programs); a key shared
+  // across suites is only legitimate for such a reused entry, where it
+  // names the same program. Derive the expected overlap from the data
+  // so registry growth doesn't invalidate the check.
+  std::set<std::string> Seen;
+  size_t Total = 0, Reused = 0;
+  auto SameProgramElsewhere = [](const BenchmarkProgram &B) {
+    for (const std::vector<BenchmarkProgram> *Suite :
+         {&section2Examples(), &table123Suite()})
+      for (const BenchmarkProgram &P : *Suite)
+        if (P.Key == B.Key) {
+          EXPECT_EQ(P.Source, B.Source) << B.Key;
+          return true;
+        }
+    return false;
+  };
+  for (const std::vector<BenchmarkProgram> *Suite :
+       {&section2Examples(), &table123Suite()}) {
+    for (const BenchmarkProgram &B : *Suite) {
+      EXPECT_FALSE(B.Key.empty());
+      ++Total;
+      EXPECT_TRUE(Seen.insert(B.Key).second)
+          << "key " << B.Key << " shared across base suites";
+    }
+  }
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    EXPECT_FALSE(B.Key.empty());
+    ++Total;
+    if (SameProgramElsewhere(B))
+      ++Reused;
+    else
+      EXPECT_TRUE(Seen.insert(B.Key).second)
+          << "key " << B.Key << " collides across suites";
+  }
+  EXPECT_EQ(Seen.size(), Total - Reused);
+}
+
+TEST(BenchmarkRegistryTest, KeysUniqueWithinEachSuite) {
+  for (const std::vector<BenchmarkProgram> *Suite :
+       {&section2Examples(), &table123Suite(), &benchmarkSuite()}) {
+    std::set<std::string> Keys;
+    for (const BenchmarkProgram &B : *Suite)
+      EXPECT_TRUE(Keys.insert(B.Key).second)
+          << "duplicate key " << B.Key;
+  }
+}
+
+TEST(BenchmarkRegistryTest, SourcesNonEmpty) {
+  for (const std::vector<BenchmarkProgram> *Suite :
+       {&section2Examples(), &table123Suite(), &benchmarkSuite()})
+    for (const BenchmarkProgram &B : *Suite) {
+      EXPECT_FALSE(B.Source.empty()) << B.Key;
+      EXPECT_FALSE(B.Description.empty()) << B.Key;
+    }
+}
+
+TEST(BenchmarkRegistryTest, GoalSpecsParse) {
+  for (const std::vector<BenchmarkProgram> *Suite :
+       {&section2Examples(), &table123Suite(), &benchmarkSuite()})
+    for (const BenchmarkProgram &B : *Suite) {
+      std::string Err;
+      EXPECT_TRUE(parseInputPattern(B.GoalSpec, &Err).has_value())
+          << B.Key << ": " << Err;
+    }
+}
+
+TEST(BenchmarkRegistryTest, FindBenchmarkResolvesEveryKey) {
+  for (const std::vector<BenchmarkProgram> *Suite :
+       {&section2Examples(), &table123Suite(), &benchmarkSuite()})
+    for (const BenchmarkProgram &B : *Suite) {
+      const BenchmarkProgram *Found = findBenchmark(B.Key);
+      ASSERT_NE(Found, nullptr) << B.Key;
+      EXPECT_EQ(Found->Source, B.Source) << B.Key;
+      EXPECT_EQ(Found->GoalSpec, B.GoalSpec) << B.Key;
+    }
 }
 
 } // namespace
