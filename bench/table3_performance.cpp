@@ -10,44 +10,146 @@
 /// pathological one) is the reproduction target. google-benchmark
 /// timings cover the quick programs.
 ///
+/// Besides the human-readable table, the harness writes a
+/// machine-readable BENCH_table3.json (per-program solve seconds,
+/// iterations, op-cache hit rates) so CI can accumulate a bench
+/// trajectory. Override the output path with the BENCH_TABLE3_JSON
+/// environment variable; set it to the empty string to skip the file.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 using namespace gaia;
 
-static void printTable3() {
-  printHeaderBlock("Table 3", "computation results (type-graph domain)");
-  std::printf("%-4s | %s\n", "", perfTableHeader().c_str());
+namespace {
+
+struct Table3Row {
+  std::string Key;
+  AnalysisResult Base;
+  AnalysisResult Cap5;
+  AnalysisResult Cap2;
+};
+
+double cacheHitRate(const AnalysisResult &R) {
+  uint64_t Total = R.Stats.OpCacheHits + R.Stats.OpCacheMisses;
+  return Total ? double(R.Stats.OpCacheHits) / double(Total) : 0.0;
+}
+
+std::vector<Table3Row> runTable3() {
+  std::vector<Table3Row> Rows;
   for (const BenchmarkProgram &B : table123Suite()) {
+    Table3Row Row;
+    Row.Key = B.Key;
     AnalyzerOptions Base;
-    AnalysisResult R = runBenchmark(B, Base);
+    Row.Base = runBenchmark(B, Base);
     AnalyzerOptions Cap5 = Base;
     Cap5.OrCap = 5;
-    AnalysisResult R5 = runBenchmark(B, Cap5);
+    Row.Cap5 = runBenchmark(B, Cap5);
     AnalyzerOptions Cap2 = Base;
     Cap2.OrCap = 2;
-    AnalysisResult R2 = runBenchmark(B, Cap2);
+    Row.Cap2 = runBenchmark(B, Cap2);
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+void printTable3(const std::vector<Table3Row> &Rows) {
+  printHeaderBlock("Table 3", "computation results (type-graph domain)");
+  std::printf("%-4s | %s\n", "", perfTableHeader().c_str());
+  for (const Table3Row &Row : Rows) {
     std::printf("ours | %s\n",
-                formatPerfRow(B.Key, R.Stats.SolveSeconds,
-                              R.Stats.ProcedureIterations,
-                              R.Stats.ClauseIterations,
-                              R5.Stats.SolveSeconds,
-                              R2.Stats.SolveSeconds)
+                formatPerfRow(Row.Key, Row.Base.Stats.SolveSeconds,
+                              Row.Base.Stats.ProcedureIterations,
+                              Row.Base.Stats.ClauseIterations,
+                              Row.Cap5.Stats.SolveSeconds,
+                              Row.Cap2.Stats.SolveSeconds)
                     .c_str());
-    if (const PaperTable3Row *P = paperTable3(B.Key))
+    if (const PaperTable3Row *P = paperTable3(Row.Key))
       std::printf("papr | %s\n",
-                  formatPerfRow(B.Key, P->Cpu, P->ProcIters,
+                  formatPerfRow(Row.Key, P->Cpu, P->ProcIters,
                                 P->ClauseIters, P->Cpu5, P->Cpu2)
                       .c_str());
     std::fflush(stdout);
   }
   std::printf("\n");
+
+  std::printf("--- hash-consing / op-cache layer (uncapped runs) ---\n");
+  std::printf("Program   opHit%%      hits    misses   graphs  "
+              "lookups  skipped\n");
+  for (const Table3Row &Row : Rows) {
+    const EngineStats &S = Row.Base.Stats;
+    std::printf("%-8s %6.1f %9llu %9llu %8llu %8llu %8llu\n",
+                Row.Key.c_str(), 100.0 * cacheHitRate(Row.Base),
+                static_cast<unsigned long long>(S.OpCacheHits),
+                static_cast<unsigned long long>(S.OpCacheMisses),
+                static_cast<unsigned long long>(S.InternedGraphs),
+                static_cast<unsigned long long>(S.EntryLookups),
+                static_cast<unsigned long long>(S.RecomputesSkipped));
+  }
+  std::printf("\n");
 }
 
-static void BM_Analyze(benchmark::State &State, const std::string &Key) {
+/// Writes the machine-readable snapshot CI tracks over time. Returns
+/// false (and the harness exits non-zero) when the file cannot be
+/// written, so CI fails at the bench step instead of two steps later at
+/// the artifact upload.
+bool writeJson(const std::vector<Table3Row> &Rows, const char *Path) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path);
+    return false;
+  }
+  double Total = 0, Total5 = 0, Total2 = 0;
+  for (const Table3Row &Row : Rows) {
+    Total += Row.Base.Stats.SolveSeconds;
+    Total5 += Row.Cap5.Stats.SolveSeconds;
+    Total2 += Row.Cap2.Stats.SolveSeconds;
+  }
+  std::fprintf(F, "{\n  \"programs\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Table3Row &Row = Rows[I];
+    const EngineStats &S = Row.Base.Stats;
+    std::fprintf(
+        F,
+        "    {\"key\": \"%s\", \"solve_seconds\": %.6f, "
+        "\"proc_iterations\": %llu, \"clause_iterations\": %llu, "
+        "\"solve_seconds_cap5\": %.6f, \"solve_seconds_cap2\": %.6f, "
+        "\"op_cache_hits\": %llu, \"op_cache_misses\": %llu, "
+        "\"op_cache_hit_rate\": %.4f, \"interned_graphs\": %llu, "
+        "\"entry_lookups\": %llu, \"entry_compares\": %llu, "
+        "\"recomputes_skipped\": %llu, \"converged\": %s}%s\n",
+        Row.Key.c_str(), S.SolveSeconds,
+        static_cast<unsigned long long>(S.ProcedureIterations),
+        static_cast<unsigned long long>(S.ClauseIterations),
+        Row.Cap5.Stats.SolveSeconds, Row.Cap2.Stats.SolveSeconds,
+        static_cast<unsigned long long>(S.OpCacheHits),
+        static_cast<unsigned long long>(S.OpCacheMisses),
+        cacheHitRate(Row.Base),
+        static_cast<unsigned long long>(S.InternedGraphs),
+        static_cast<unsigned long long>(S.EntryLookups),
+        static_cast<unsigned long long>(S.EntryCompares),
+        static_cast<unsigned long long>(S.RecomputesSkipped),
+        Row.Base.Converged ? "true" : "false",
+        I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(F,
+               "  ],\n  \"total_solve_seconds\": %.6f,\n"
+               "  \"total_solve_seconds_cap5\": %.6f,\n"
+               "  \"total_solve_seconds_cap2\": %.6f\n}\n",
+               Total, Total5, Total2);
+  std::fclose(F);
+  std::printf("wrote %s (total %.3fs, cap5 %.3fs, cap2 %.3fs)\n\n", Path,
+              Total, Total5, Total2);
+  return true;
+}
+
+void BM_Analyze(benchmark::State &State, const std::string &Key) {
   const BenchmarkProgram *B = findBenchmark(Key);
   for (auto _ : State) {
     AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec);
@@ -55,8 +157,16 @@ static void BM_Analyze(benchmark::State &State, const std::string &Key) {
   }
 }
 
+} // namespace
+
 int main(int argc, char **argv) {
-  printTable3();
+  std::vector<Table3Row> Rows = runTable3();
+  printTable3(Rows);
+  const char *JsonPath = std::getenv("BENCH_TABLE3_JSON");
+  if (!JsonPath)
+    JsonPath = "BENCH_table3.json";
+  if (*JsonPath && !writeJson(Rows, JsonPath))
+    return 1;
   // Register timing loops only for the fast programs; the slow ones are
   // covered by the table above.
   for (const char *Key : {"QU", "PG", "PL", "BR", "CS", "PE", "KA"})

@@ -135,6 +135,7 @@ AnalysisResult gaia::analyzeProgram(const std::string &Source,
   EngineOptions EngOpts;
   EngOpts.RefineArithComparisons = Opts.RefineArithComparisons;
   EngOpts.MaxInputPatterns = Opts.MaxInputPatterns;
+  EngOpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
   if (Opts.Domain == DomainKind::TypeGraphs) {
     NormalizeOptions Norm;
     Norm.OrCap = Opts.OrCap;
@@ -153,11 +154,23 @@ AnalysisResult gaia::analyzeProgram(const std::string &Source,
     }
     if (!Database.empty())
       Widen.Database = &Database;
-    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats};
+    // The hash-consing interner plus op-cache layer; one per analysis,
+    // shared by the engine and every leaf operation through the context.
+    std::optional<OpCache> Ops;
+    if (Opts.UseOpCache)
+      Ops.emplace(Syms, Norm);
+    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats,
+                        Ops ? &*Ops : nullptr};
     runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
+    if (Ops) {
+      R.Stats.OpCacheHits = Ops->stats().Hits;
+      R.Stats.OpCacheMisses = Ops->stats().Misses;
+      R.Stats.InternedGraphs = Ops->interner().size();
+    }
   } else {
     PFLeaf::Context C{Syms};
     runWithLeaf<PFLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
   }
+  R.Converged = R.Stats.FixpointAborts == 0;
   return R;
 }

@@ -40,6 +40,15 @@ struct AnalyzerOptions {
   /// Forwarded to EngineOptions::MaxInputPatterns (0 = unbounded, the
   /// paper's measured configuration).
   uint32_t MaxInputPatterns = 8;
+  /// Forwarded to EngineOptions::MaxFixpointRounds (defensive budget on
+  /// the fixpoint loops; exhausting it degrades the offending entry to
+  /// top and clears AnalysisResult::Converged instead of hanging or
+  /// silently returning a dirty result).
+  uint32_t MaxFixpointRounds = 10000;
+  /// Use the hash-consing graph interner and operation cache (on by
+  /// default; off reproduces the uncached pre-cache behavior for A/B
+  /// measurements).
+  bool UseOpCache = true;
   /// Widening strategy: the paper's operator, or the depth-k truncation
   /// baseline it is measured against (bench/widening_ablation).
   WidenMode Widening = WidenMode::Paper;
@@ -71,6 +80,12 @@ struct PredicateSummary {
 struct AnalysisResult {
   bool Ok = false;
   std::string Error;
+  /// False if a fixpoint loop exhausted its round budget and the engine
+  /// degraded the offending entries to top (see
+  /// EngineStats::FixpointAborts). The result is still a sound
+  /// over-approximation, but it is not the analysis' normal fixpoint;
+  /// callers that need full precision must treat this as a failure.
+  bool Converged = true;
 
   /// Symbol table the graphs refer to (kept alive for printing and for
   /// parsing expected grammars in tests).

@@ -63,6 +63,9 @@ struct PFLeaf {
     return TypeGraph::makeAny();
   }
 
+  /// One-point domain: every value is equal, so one canonical key.
+  static uint64_t canonKey(const Context &, const Value &) { return 0; }
+
   static std::string print(const Context &, const Value &) { return "Any"; }
 };
 

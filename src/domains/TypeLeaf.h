@@ -11,6 +11,7 @@
 #define GAIA_DOMAINS_TYPELEAF_H
 
 #include "typegraph/GraphOps.h"
+#include "typegraph/OpCache.h"
 #include "typegraph/Widening.h"
 
 #include <string>
@@ -20,7 +21,8 @@ namespace gaia {
 
 /// Leaf domain whose values are type graphs. All operations are pure;
 /// the Context carries the symbol table, normalization knobs (or-degree
-/// cap) and widening statistics.
+/// cap), widening statistics, and (optionally) the hash-consing
+/// operation cache every op is routed through.
 struct TypeLeaf {
   using Value = TypeGraph;
 
@@ -29,6 +31,11 @@ struct TypeLeaf {
     NormalizeOptions Norm;
     WideningOptions Widen;
     WideningStats *WStats = nullptr;
+    /// Optional memo layer (support/GraphInterner.h + typegraph/OpCache.h).
+    /// When set, includes/meet/join/widen hit the canonical-id caches and
+    /// canonKey returns interner ids; when null every op recomputes
+    /// (tests that probe the raw operations construct contexts this way).
+    OpCache *Ops = nullptr;
   };
 
   static Value any(const Context &) { return TypeGraph::makeAny(); }
@@ -42,24 +49,42 @@ struct TypeLeaf {
     return V.isBottomGraph();
   }
   static bool isAny(const Context &Ctx, const Value &V) {
-    return graphIncludes(V, TypeGraph::makeAny(), Ctx.Syms);
+    return includes(Ctx, V, TypeGraph::makeAny());
   }
 
   static bool includes(const Context &Ctx, const Value &Big,
                        const Value &Small) {
+    if (Ctx.Ops)
+      return Ctx.Ops->includes(Big, Small);
     return graphIncludes(Big, Small, Ctx.Syms);
   }
   static Value meet(const Context &Ctx, const Value &A, const Value &B) {
+    if (Ctx.Ops)
+      return Ctx.Ops->intersectOf(A, B);
     return graphIntersect(A, B, Ctx.Syms, Ctx.Norm);
   }
   static Value join(const Context &Ctx, const Value &A, const Value &B) {
+    if (Ctx.Ops)
+      return Ctx.Ops->unionOf(A, B);
     return graphUnion(A, B, Ctx.Syms, Ctx.Norm);
   }
   static Value widen(const Context &Ctx, const Value &Old,
                      const Value &New) {
     WideningOptions Opts = Ctx.Widen;
     Opts.Norm = Ctx.Norm;
+    if (Ctx.Ops)
+      return Ctx.Ops->widenOf(Old, New, Opts, Ctx.WStats);
     return graphWiden(Old, New, Ctx.Syms, Opts, Ctx.WStats);
+  }
+
+  /// Canonical key for memo-table hashing: equal values (language
+  /// equality) map to equal keys. With the op cache this is the interned
+  /// canonical id; otherwise the BFS-structural hash, which is canonical
+  /// on normalized values (every Value the engine manipulates is one).
+  static uint64_t canonKey(const Context &Ctx, const Value &V) {
+    if (Ctx.Ops)
+      return Ctx.Ops->canonId(V);
+    return structuralHash(V);
   }
 
   /// Restricts \p V to terms with principal functor \p Fn. Returns false

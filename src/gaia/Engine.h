@@ -49,9 +49,18 @@ struct EngineOptions {
   /// into a finite widening chain. 0 = unbounded (the paper's measured
   /// configuration, pathological on PR/RE-style programs).
   uint32_t MaxInputPatterns = 8;
+  /// Defensive bound on both fixpoint loops (the local per-entry loop
+  /// and the global stabilization loop in solve). The widening
+  /// guarantees both terminate; if that guarantee is ever broken, the
+  /// engine falls back to a top output for the offending entry instead
+  /// of looping forever — or, as the pre-fix code did under NDEBUG,
+  /// silently returning a dirty (non-converged, unsound-as-final)
+  /// result. Aborts are counted in EngineStats::FixpointAborts.
+  uint32_t MaxFixpointRounds = 10000;
 };
 
-/// Statistics matching Table 3's measurements.
+/// Statistics matching Table 3's measurements, plus the cache layer's
+/// hit/miss counters.
 struct EngineStats {
   /// Number of times a (predicate, input) entry was (re)analyzed.
   uint64_t ProcedureIterations = 0;
@@ -61,6 +70,24 @@ struct EngineStats {
   uint64_t InputPatterns = 0;
   /// Wall-clock seconds inside solve().
   double SolveSeconds = 0;
+  /// Memo-table lookups, and how many entries the hashed lookup actually
+  /// compared with the full Sub::equal (the pre-hash-consing code
+  /// compared every same-predicate entry on every lookup).
+  uint64_t EntryLookups = 0;
+  uint64_t EntryCompares = 0;
+  /// Dirty recomputations skipped because every recorded dependency
+  /// still had its recorded version (the invalidation was spurious).
+  uint64_t RecomputesSkipped = 0;
+  /// Times a fixpoint loop exhausted EngineOptions::MaxFixpointRounds
+  /// and fell back to a top output. Nonzero means the result is a sound
+  /// over-approximation but the analysis did not converge normally.
+  uint64_t FixpointAborts = 0;
+  /// Graph-operation cache counters, filled in by the analyzer from the
+  /// OpCache layer (zero when the leaf domain runs uncached).
+  uint64_t OpCacheHits = 0;
+  uint64_t OpCacheMisses = 0;
+  /// Distinct graph languages hash-consed by the interner.
+  uint64_t InternedGraphs = 0;
 };
 
 template <typename Leaf> class Engine {
@@ -115,15 +142,23 @@ private:
   Sub analyzeClause(const NClause &Cl, const Sub &In, Entry *E);
   void invalidateDependents(Entry *Changed);
   Entry *findEntry(FunctorId Pred, const Sub &In);
+  uint64_t entryKey(FunctorId Pred, const Sub &In) const;
   void recordDep(Entry *From, Entry *To);
+  bool depsUnchanged(const Entry *E) const;
+  void abortFixpoint(Entry *E);
 
   const NProgram &Prog;
   Ctx C;
   EngineOptions Opts;
   bool Trace = false;
   std::vector<std::unique_ptr<Entry>> Entries;
-  /// Per-predicate entry buckets (creation order preserved).
+  /// Per-predicate entry buckets (creation order preserved; drives the
+  /// polyvariance cap).
   std::unordered_map<FunctorId, std::vector<Entry *>> ByPred;
+  /// Hashed memo-table index: (predicate, canonical input key) buckets.
+  /// Lookup verifies candidates with Sub::equal, so a hash collision
+  /// costs a comparison, never correctness.
+  std::unordered_map<uint64_t, std::vector<Entry *>> ByKey;
   std::vector<Entry *> Stack;
   EngineStats Stats;
 };
@@ -133,24 +168,67 @@ private:
 //===----------------------------------------------------------------------===//
 
 template <typename Leaf>
+uint64_t Engine<Leaf>::entryKey(FunctorId Pred, const Sub &In) const {
+  std::size_t Seed = Pred;
+  hashCombine(Seed, In.canonKey(C));
+  return Seed;
+}
+
+template <typename Leaf>
 typename Engine<Leaf>::Entry *Engine<Leaf>::findEntry(FunctorId Pred,
                                                       const Sub &In) {
-  auto It = ByPred.find(Pred);
-  if (It == ByPred.end())
+  ++Stats.EntryLookups;
+  auto It = ByKey.find(entryKey(Pred, In));
+  if (It == ByKey.end())
     return nullptr;
-  for (Entry *E : It->second)
+  for (Entry *E : It->second) {
+    if (E->Pred != Pred)
+      continue;
+    ++Stats.EntryCompares;
     if (Sub::equal(C, E->In, In))
       return E;
+  }
   return nullptr;
 }
 
 template <typename Leaf>
 void Engine<Leaf>::recordDep(Entry *From, Entry *To) {
-  From->Deps.emplace_back(To, To->Version);
+  // One Deps slot per callee, holding the latest version read. A pass
+  // that read two different versions of the same callee was dirtied in
+  // between and repeats, so only the final version matters for the
+  // depsUnchanged check.
+  bool Known = false;
+  for (auto &[D, V] : From->Deps)
+    if (D == To) {
+      V = To->Version;
+      Known = true;
+      break;
+    }
+  if (!Known)
+    From->Deps.emplace_back(To, To->Version);
   for (Entry *D : To->Dependents)
     if (D == From)
       return;
   To->Dependents.push_back(From);
+}
+
+template <typename Leaf>
+bool Engine<Leaf>::depsUnchanged(const Entry *E) const {
+  for (const auto &[D, V] : E->Deps)
+    if (D->Dirty || D->Version != V)
+      return false;
+  return true;
+}
+
+template <typename Leaf> void Engine<Leaf>::abortFixpoint(Entry *E) {
+  // Fixpoint budget exhausted: the only sound terminating answer is top.
+  // This path must exist in release builds — returning the current
+  // (dirty) approximation as if final would be unsound.
+  ++Stats.FixpointAborts;
+  E->Out = Sub::top(C, E->In.numSlots());
+  ++E->Version;
+  invalidateDependents(E);
+  E->Dirty = false;
 }
 
 template <typename Leaf>
@@ -161,9 +239,21 @@ typename Engine<Leaf>::Sub Engine<Leaf>::solve(FunctorId Pred,
   // Iterate to a global fixpoint: recursive dependencies may have left
   // dirty entries; recompute until the query entry is clean.
   unsigned Rounds = 0;
-  while (E->Dirty && Rounds++ < 10000)
+  while (E->Dirty) {
+    if (Rounds++ >= Opts.MaxFixpointRounds) {
+      abortFixpoint(E);
+      break;
+    }
+    if (depsUnchanged(E)) {
+      // Spurious invalidation: every dependency still has the version
+      // this entry's last pass observed, so recomputing cannot change
+      // the output.
+      ++Stats.RecomputesSkipped;
+      E->Dirty = false;
+      break;
+    }
     compute(E);
-  assert(Rounds < 10000 && "global fixpoint did not stabilize");
+  }
   Stats.SolveSeconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     Start)
@@ -212,6 +302,7 @@ Engine<Leaf>::solveCall(FunctorId Pred, Sub In, Entry *Caller) {
     E->In = std::move(In);
     E->Out = Sub::bottom(E->In.numSlots());
     ByPred[Pred].push_back(E);
+    ByKey[entryKey(Pred, E->In)].push_back(E);
     ++Stats.InputPatterns;
     if (Trace)
       std::fprintf(stderr, "[gaia] new input pattern for %s (from %s):\n%s",
@@ -221,16 +312,27 @@ Engine<Leaf>::solveCall(FunctorId Pred, Sub In, Entry *Caller) {
                    E->In.print(C).c_str());
   }
 
-  if (Caller)
-    recordDep(Caller, E);
-
   if (E->OnStack) {
     E->UsedRecursively = true;
+    if (Caller)
+      recordDep(Caller, E);
     return E; // current approximation
   }
-  if (E->Computed && !E->Dirty)
-    return E;
-  compute(E);
+  if (E->Computed && E->Dirty && depsUnchanged(E)) {
+    // Version-checked skip: the entry was invalidated transitively, but
+    // every direct dependency still carries the version its last pass
+    // used — the output cannot change, so don't recompute it.
+    ++Stats.RecomputesSkipped;
+    E->Dirty = false;
+  } else if (!E->Computed || E->Dirty) {
+    compute(E);
+  }
+  // Record the dependency *after* the entry settles, so the version the
+  // caller stores is the version whose output it actually reads —
+  // recording before compute would make the first depsUnchanged check
+  // after any settle see a spurious mismatch.
+  if (Caller)
+    recordDep(Caller, E);
   return E;
 }
 
@@ -277,7 +379,10 @@ template <typename Leaf> void Engine<Leaf>::compute(Entry *E) {
     bool Again = (Changed && E->UsedRecursively) || E->Dirty;
     if (!Again)
       break;
-    assert(LocalRounds < 10000 && "local fixpoint did not stabilize");
+    if (LocalRounds >= Opts.MaxFixpointRounds) {
+      abortFixpoint(E);
+      break;
+    }
   }
 
   Stack.pop_back();

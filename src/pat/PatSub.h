@@ -213,6 +213,23 @@ public:
     return !IsBottom && find(Slots[A]) == find(Slots[B]);
   }
 
+  /// Canonical hash key: substitutions that are `equal` produce equal
+  /// keys, so the engine's memo table can bucket entries by key and only
+  /// run the full semantic comparison within a bucket. The key hashes
+  /// the discovery-order renaming of the reachable subterm indices (the
+  /// same-value partition), each frame's functor, and each leaf's
+  /// canonical value key (Leaf::canonKey) — exactly the components
+  /// `equal` compares.
+  uint64_t canonKey(const Ctx &C) const {
+    if (IsBottom)
+      return 0xB0770Bu + numSlots();
+    std::size_t Seed = numSlots();
+    std::map<uint32_t, uint32_t> Number; // representative -> discovery id
+    for (uint32_t S : Slots)
+      keyIndex(C, S, Number, Seed);
+    return Seed;
+  }
+
   /// Renders the substitution for diagnostics: one line per slot.
   std::string print(const Ctx &C) const;
 
@@ -377,6 +394,30 @@ private:
       if (IsBottom)
         return;
     }
+  }
+
+  /// canonKey helper: hashes the subterm \p I (frames recursively, leaves
+  /// via Leaf::canonKey) under a discovery-order renaming of the indices.
+  /// Rational frame cycles terminate because an index is numbered before
+  /// its arguments are visited.
+  void keyIndex(const Ctx &C, uint32_t I, std::map<uint32_t, uint32_t> &Number,
+                std::size_t &Seed) const {
+    I = find(I);
+    auto [It, Inserted] =
+        Number.emplace(I, static_cast<uint32_t>(Number.size()));
+    hashCombine(Seed, It->second);
+    if (!Inserted)
+      return; // same-value reference to an already hashed subterm
+    const Sub &S = Subs[I];
+    if (!S.HasFrame) {
+      hashCombine(Seed, 0x1eafu);
+      hashCombine(Seed, Leaf::canonKey(C, S.Prop));
+      return;
+    }
+    hashCombine(Seed, 0xf7a3eu);
+    hashCombine(Seed, S.Fn);
+    for (uint32_t A : S.FrameArgs)
+      keyIndex(C, A, Number, Seed);
   }
 
   /// Copies the subterm \p I into \p R, preserving sharing via \p Remap.

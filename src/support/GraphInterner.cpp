@@ -1,0 +1,112 @@
+//===- support/GraphInterner.cpp -------------------------------------------=//
+
+#include "support/GraphInterner.h"
+
+#include "typegraph/Normalize.h"
+
+using namespace gaia;
+
+uint64_t gaia::structuralHash(const TypeGraph &G) {
+  if (G.root() == InvalidNode)
+    return 0x1507;
+  TypeGraph::Topology T = G.computeTopology();
+  std::vector<uint32_t> Remap(G.numNodes(), ~0u);
+  for (size_t I = 0; I != T.BfsOrder.size(); ++I)
+    Remap[T.BfsOrder[I]] = static_cast<uint32_t>(I);
+  std::size_t Seed = T.BfsOrder.size();
+  for (NodeId V : T.BfsOrder) {
+    const TGNode &N = G.node(V);
+    hashCombine(Seed, static_cast<std::size_t>(N.Kind));
+    if (N.Kind == NodeKind::Func)
+      hashCombine(Seed, N.Fn);
+    hashCombine(Seed, N.Succs.size());
+    for (NodeId S : N.Succs)
+      hashCombine(Seed, Remap[S]);
+  }
+  return Seed;
+}
+
+bool gaia::structuralEqual(const TypeGraph &A, const TypeGraph &B) {
+  if ((A.root() == InvalidNode) != (B.root() == InvalidNode))
+    return false;
+  if (A.root() == InvalidNode)
+    return true;
+  TypeGraph::Topology TA = A.computeTopology();
+  TypeGraph::Topology TB = B.computeTopology();
+  if (TA.BfsOrder.size() != TB.BfsOrder.size())
+    return false;
+  std::vector<uint32_t> RemapA(A.numNodes(), ~0u);
+  std::vector<uint32_t> RemapB(B.numNodes(), ~0u);
+  for (size_t I = 0; I != TA.BfsOrder.size(); ++I) {
+    RemapA[TA.BfsOrder[I]] = static_cast<uint32_t>(I);
+    RemapB[TB.BfsOrder[I]] = static_cast<uint32_t>(I);
+  }
+  for (size_t I = 0; I != TA.BfsOrder.size(); ++I) {
+    const TGNode &NA = A.node(TA.BfsOrder[I]);
+    const TGNode &NB = B.node(TB.BfsOrder[I]);
+    if (NA.Kind != NB.Kind || NA.Succs.size() != NB.Succs.size())
+      return false;
+    if (NA.Kind == NodeKind::Func && NA.Fn != NB.Fn)
+      return false;
+    for (size_t J = 0; J != NA.Succs.size(); ++J)
+      if (RemapA[NA.Succs[J]] != RemapB[NB.Succs[J]])
+        return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Serializes the canonical minimal automaton of \p G into a flat word
+/// sequence. buildAutomaton numbers states deterministically from the
+/// structure alone, so the serialization is a canonical language key.
+std::vector<uint64_t> automatonKey(const TypeGraph &G,
+                                   const SymbolTable &Syms) {
+  GrammarAutomaton A = buildAutomaton(G, Syms);
+  std::vector<uint64_t> Key;
+  if (A.Empty) {
+    Key.push_back(0xE0);
+    return Key;
+  }
+  Key.push_back(A.States.size());
+  for (const GrammarAutomaton::State &S : A.States) {
+    Key.push_back((S.IsAny ? 2 : 0) | (S.HasInt ? 1 : 0));
+    Key.push_back(S.Trans.size());
+    for (const auto &[Fn, Args] : S.Trans) {
+      Key.push_back(Fn);
+      for (uint32_t Arg : Args)
+        Key.push_back(Arg);
+    }
+  }
+  return Key;
+}
+
+} // namespace
+
+CanonId GraphInterner::intern(const TypeGraph &G) {
+  uint64_t H = structuralHash(G);
+  auto &Bucket = StructBuckets[H];
+  for (const auto &[Rep, Id] : Bucket)
+    if (structuralEqual(*Rep, G)) {
+      ++St.StructHits;
+      return Id;
+    }
+
+  std::vector<uint64_t> AKey = automatonKey(G, Syms);
+  auto It = AutoMap.find(AKey);
+  if (It != AutoMap.end()) {
+    // New shape of a known language: remember it so the next structural
+    // lookup of this shape short-circuits.
+    ++St.AutoHits;
+    Aliases.push_back(G);
+    Bucket.emplace_back(&Aliases.back(), It->second);
+    return It->second;
+  }
+
+  ++St.Misses;
+  CanonId Id = static_cast<CanonId>(Canon.size());
+  Canon.push_back(G);
+  Bucket.emplace_back(&Canon.back(), Id);
+  AutoMap.emplace(std::move(AKey), Id);
+  return Id;
+}

@@ -1,0 +1,107 @@
+//===- support/GraphInterner.h - Hash-consing of normalized type graphs ---==//
+///
+/// \file
+/// Canonical ids for normalized type graphs. The GAIA fixpoint performs
+/// thousands of graph operations whose operands repeat constantly (the
+/// same list/tree grammars flow through every clause pass); giving every
+/// *language* one dense canonical id makes
+///
+///   - semantic equality an integer comparison,
+///   - the operation caches of typegraph/OpCache.h possible (keys are
+///     canonical-id pairs), and
+///   - memo-table lookup in the engine hashable (per-slot canonical ids).
+///
+/// Two-level lookup keeps interning cheap:
+///
+///   1. a *structural* map over the BFS-canonical shape of the graph.
+///      `normalizeGraph` unfolds the minimized deterministic automaton in
+///      a deterministic order, so language-equal normalized graphs are
+///      structurally identical and almost every intern is a cheap O(n)
+///      structural hit;
+///   2. a fallback keyed on the serialized minimal automaton
+///      (`buildAutomaton`), which is canonical for *any* graph. A
+///      structurally novel graph whose language was seen before is
+///      recorded as an alias of the existing id, so the canonical-id
+///      invariant — equal language iff equal id — holds even for
+///      hand-built (non-canonical but normalized) graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SUPPORT_GRAPHINTERNER_H
+#define GAIA_SUPPORT_GRAPHINTERNER_H
+
+#include "support/Hashing.h"
+#include "typegraph/TypeGraph.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace gaia {
+
+/// Dense id of an interned graph language. Ids are only comparable within
+/// one GraphInterner.
+using CanonId = uint32_t;
+constexpr CanonId InvalidCanon = ~0u;
+
+/// Hash of the BFS-canonical shape of the reachable part of \p G: two
+/// graphs that are structurally isomorphic under BFS renumbering (the
+/// numbering `compact` produces) hash equal. On outputs of normalizeGraph
+/// this is a *canonical* language hash.
+uint64_t structuralHash(const TypeGraph &G);
+
+/// True if \p A and \p B have identical BFS-canonical shapes (same
+/// renumbered vertex sequence, kinds, functors and successor lists).
+bool structuralEqual(const TypeGraph &A, const TypeGraph &B);
+
+/// Interning statistics (surfaced through EngineStats by the analyzer).
+struct InternStats {
+  uint64_t StructHits = 0; ///< resolved by the structural fast path
+  uint64_t AutoHits = 0;   ///< new shape, known language (alias recorded)
+  uint64_t Misses = 0;     ///< new language (canonical graph stored)
+};
+
+/// Assigns canonical ids to normalized type graphs. Not thread-safe; one
+/// interner per analysis, sharing the analysis' SymbolTable.
+class GraphInterner {
+public:
+  explicit GraphInterner(const SymbolTable &Syms) : Syms(Syms) {}
+
+  /// Non-copyable/movable: StructBuckets holds pointers into the Canon
+  /// and Aliases deques, which a copy or move would leave dangling.
+  GraphInterner(const GraphInterner &) = delete;
+  GraphInterner &operator=(const GraphInterner &) = delete;
+
+  /// Interns \p G (which must be normalized — outputs of normalizeGraph /
+  /// normalizeFrom or the canonical make* constructors) and returns its
+  /// canonical id. Language-equal graphs receive equal ids.
+  CanonId intern(const TypeGraph &G);
+
+  /// The canonical representative of \p Id (the first graph interned with
+  /// that language). Stable for the interner's lifetime.
+  const TypeGraph &graph(CanonId Id) const { return Canon[Id]; }
+
+  /// Number of distinct languages interned.
+  uint32_t size() const { return static_cast<uint32_t>(Canon.size()); }
+
+  const InternStats &stats() const { return St; }
+
+private:
+  const SymbolTable &Syms;
+  /// Canonical representatives, indexed by CanonId. Deque: stable
+  /// references across growth.
+  std::deque<TypeGraph> Canon;
+  /// Alias storage for structurally novel graphs of known languages.
+  std::deque<TypeGraph> Aliases;
+  /// Structural fast path: shape hash -> (representative graph, id).
+  std::unordered_map<uint64_t, std::vector<std::pair<const TypeGraph *,
+                                                     CanonId>>>
+      StructBuckets;
+  /// Serialized minimal automaton -> id (canonical for any graph).
+  std::unordered_map<std::vector<uint64_t>, CanonId, U64VectorHash> AutoMap;
+  InternStats St;
+};
+
+} // namespace gaia
+
+#endif // GAIA_SUPPORT_GRAPHINTERNER_H

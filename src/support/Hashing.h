@@ -40,6 +40,16 @@ struct IdVectorHash {
   }
 };
 
+/// Hashes a vector of 64-bit words (used for serialized automaton keys).
+struct U64VectorHash {
+  std::size_t operator()(const std::vector<uint64_t> &V) const {
+    std::size_t Seed = V.size();
+    for (uint64_t X : V)
+      hashCombine(Seed, std::hash<uint64_t>()(X));
+    return Seed;
+  }
+};
+
 } // namespace gaia
 
 #endif // GAIA_SUPPORT_HASHING_H

@@ -1,0 +1,79 @@
+//===- typegraph/OpCache.cpp -----------------------------------------------=//
+
+#include "typegraph/OpCache.h"
+
+#include "typegraph/GraphOps.h"
+
+#include <algorithm>
+
+using namespace gaia;
+
+bool OpCache::includes(const TypeGraph &Big, const TypeGraph &Small) {
+  CanonId B = Interned.intern(Big);
+  CanonId S = Interned.intern(Small);
+  if (B == S)
+    return true; // same language
+  auto Key = std::make_pair(B, S);
+  auto It = Incl.find(Key);
+  if (It != Incl.end()) {
+    ++St.Hits;
+    return It->second != 0;
+  }
+  ++St.Misses;
+  bool Result = graphIncludes(Interned.graph(B), Interned.graph(S), Syms);
+  Incl.emplace(Key, Result ? 1 : 0);
+  return Result;
+}
+
+TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
+  CanonId IA = Interned.intern(A);
+  CanonId IB = Interned.intern(B);
+  auto Key = std::make_pair(std::min(IA, IB), std::max(IA, IB));
+  auto It = Union.find(Key);
+  if (It != Union.end()) {
+    ++St.Hits;
+    return Interned.graph(It->second);
+  }
+  ++St.Misses;
+  CanonId R = Interned.intern(
+      graphUnion(Interned.graph(IA), Interned.graph(IB), Syms, Norm));
+  Union.emplace(Key, R);
+  return Interned.graph(R);
+}
+
+TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
+  CanonId IA = Interned.intern(A);
+  CanonId IB = Interned.intern(B);
+  auto Key = std::make_pair(std::min(IA, IB), std::max(IA, IB));
+  auto It = Inter.find(Key);
+  if (It != Inter.end()) {
+    ++St.Hits;
+    return Interned.graph(It->second);
+  }
+  ++St.Misses;
+  CanonId R = Interned.intern(
+      graphIntersect(Interned.graph(IA), Interned.graph(IB), Syms, Norm));
+  Inter.emplace(Key, R);
+  return Interned.graph(R);
+}
+
+TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
+                           const WideningOptions &Opts,
+                           WideningStats *WStats) {
+  CanonId IO = Interned.intern(Old);
+  CanonId IN = Interned.intern(New);
+  auto Key = std::make_pair(IO, IN); // widening is not commutative
+  auto It = Widen.find(Key);
+  if (It != Widen.end()) {
+    ++St.Hits;
+    if (WStats)
+      ++WStats->CacheHits;
+    return Interned.graph(It->second);
+  }
+  ++St.Misses;
+  CanonId R = Interned.intern(graphWiden(Interned.graph(IO),
+                                         Interned.graph(IN), Syms, Opts,
+                                         WStats));
+  Widen.emplace(Key, R);
+  return Interned.graph(R);
+}

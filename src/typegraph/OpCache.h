@@ -1,0 +1,86 @@
+//===- typegraph/OpCache.h - Memoized graph operations over canonical ids -==//
+///
+/// \file
+/// Memoization layer over the Section 6.9 operations (union,
+/// intersection, inclusion) and the Section 7 widening. Operands are
+/// hash-consed through a GraphInterner, so cache keys are canonical-id
+/// pairs and semantic equality (`equals`) is an O(1) id comparison.
+///
+/// The cache is exact: graph operations are pure functions of the
+/// operand *languages* (all inputs are normalized, and normalization is
+/// canonical), so a hit returns a graph language-equal to what
+/// recomputation would produce — the property tests in
+/// tests/InternerPropertyTest.cpp assert exactly this.
+///
+/// One OpCache per analysis, threaded through TypeLeaf::Context; the
+/// normalization options (or-cap) and widening options are fixed for the
+/// cache's lifetime, matching how the analyzer configures a run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_OPCACHE_H
+#define GAIA_TYPEGRAPH_OPCACHE_H
+
+#include "support/GraphInterner.h"
+#include "typegraph/Normalize.h"
+#include "typegraph/Widening.h"
+
+#include <unordered_map>
+
+namespace gaia {
+
+/// Hit/miss counters, surfaced in EngineStats by the analyzer and in the
+/// Table 3 bench output.
+struct OpCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? double(Hits) / double(Total) : 0.0;
+  }
+};
+
+/// Memo cache for the four binary graph operations. Not thread-safe.
+class OpCache {
+public:
+  OpCache(const SymbolTable &Syms, const NormalizeOptions &Norm)
+      : Interned(Syms), Syms(Syms), Norm(Norm) {}
+
+  /// True if Cc(Small) is a subset of Cc(Big).
+  bool includes(const TypeGraph &Big, const TypeGraph &Small);
+  /// Cached graphUnion (commutative: keys are unordered id pairs).
+  TypeGraph unionOf(const TypeGraph &A, const TypeGraph &B);
+  /// Cached graphIntersect (commutative).
+  TypeGraph intersectOf(const TypeGraph &A, const TypeGraph &B);
+  /// Cached graphWiden. \p Opts must be stable across the cache's
+  /// lifetime (the analyzer fixes it per run); \p WStats is bumped with
+  /// a CacheHits tick instead of the full rule counters on a hit.
+  TypeGraph widenOf(const TypeGraph &Old, const TypeGraph &New,
+                    const WideningOptions &Opts, WideningStats *WStats);
+
+  /// Semantic equality as a canonical-id comparison.
+  bool equals(const TypeGraph &A, const TypeGraph &B) {
+    return Interned.intern(A) == Interned.intern(B);
+  }
+
+  /// Canonical id of \p G — the per-slot key the engine's memo-table
+  /// lookup hashes over.
+  CanonId canonId(const TypeGraph &G) { return Interned.intern(G); }
+
+  GraphInterner &interner() { return Interned; }
+  const OpCacheStats &stats() const { return St; }
+
+private:
+  GraphInterner Interned;
+  const SymbolTable &Syms;
+  NormalizeOptions Norm;
+  std::unordered_map<std::pair<CanonId, CanonId>, uint8_t, PairHash> Incl;
+  std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Union;
+  std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Inter;
+  std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Widen;
+  OpCacheStats St;
+};
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_OPCACHE_H

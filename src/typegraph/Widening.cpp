@@ -97,20 +97,27 @@ static std::vector<NodeId> orAncestors(const TypeGraph &G,
 }
 
 /// Splices \p Rep in place of the subtree rooted at or-vertex \p Va.
-static TypeGraph graftReplace(const TypeGraph &G, NodeId Va,
-                              const TypeGraph &Rep,
-                              const TypeGraph::Topology &Topo) {
+/// Implementation of detail::graftReplace; see the header comment there
+/// for why every incoming edge must be redirected.
+static TypeGraph graftReplaceImpl(const TypeGraph &G, NodeId Va,
+                                  const TypeGraph &Rep,
+                                  const TypeGraph::Topology &Topo) {
   TypeGraph Out = G; // copy; ids are preserved
   NodeId RepRoot = copySubgraph(Rep, Rep.root(), Out);
   if (Va == G.root()) {
     Out.setRoot(RepRoot);
     return Out.compact();
   }
-  NodeId Parent = Topo.Parent[Va];
-  assert(Parent != InvalidNode && "non-root vertex must have a parent");
-  for (NodeId &S : Out.node(Parent).Succs)
-    if (S == Va)
-      S = RepRoot;
+  assert(Topo.Parent[Va] != InvalidNode &&
+         "non-root vertex must have a parent");
+  // Redirect every edge into Va. Besides the tree-parent edge, Va may
+  // have incoming back/cross edges (cycle introduction creates them);
+  // leaving any of them in place would keep the replaced subtree alive.
+  uint32_t Old = G.numNodes(); // freshly copied Rep nodes need no rewrite
+  for (NodeId V = 0; V != Old; ++V)
+    for (NodeId &S : Out.node(V).Succs)
+      if (S == Va)
+        S = RepRoot;
   return Out.compact();
 }
 
@@ -177,7 +184,7 @@ static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
             Best = &D;
         }
         if (Best) {
-          TypeGraph Candidate = graftReplace(Gn, Va, *Best, TopoN);
+          TypeGraph Candidate = graftReplaceImpl(Gn, Va, *Best, TopoN);
           if (Candidate.sizeMetric() < OldSize) {
             Gn = std::move(Candidate);
             if (Stats) {
@@ -193,7 +200,7 @@ static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
       // fall back to Any. Either must strictly decrease the size of the
       // graph (Figure 7).
       TypeGraph Rep = collapsingUnionFrom(Gn, {Va, C.Vn}, Syms, Opts.Norm);
-      TypeGraph Candidate = graftReplace(Gn, Va, Rep, TopoN);
+      TypeGraph Candidate = graftReplaceImpl(Gn, Va, Rep, TopoN);
       if (Candidate.sizeMetric() < OldSize) {
         Gn = std::move(Candidate);
         if (Stats)
@@ -201,7 +208,7 @@ static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
         return true;
       }
       TypeGraph AnyRep = TypeGraph::makeAny();
-      Candidate = graftReplace(Gn, Va, AnyRep, TopoN);
+      Candidate = graftReplaceImpl(Gn, Va, AnyRep, TopoN);
       if (Candidate.sizeMetric() < OldSize) {
         Gn = std::move(Candidate);
         if (Stats)
@@ -239,10 +246,17 @@ TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
   uint32_t Transforms = 0;
   while (applyOneTransform(Gold, Gn, Syms, Opts, Stats)) {
     ++Transforms;
-    if (Transforms >= Opts.MaxTransforms) {
-      assert(false && "widening transformation loop exhausted its "
-                      "defensive budget");
-      break;
+    if (Transforms > Opts.MaxTransforms) {
+      // Defensive budget exhausted. The paper proves the transformation
+      // loop terminates; if an implementation bug (or an adversarial
+      // input) breaks that proof, collapsing to Any is the only sound
+      // answer that also guarantees the widening chain stays finite.
+      // This must work in release builds: the previous assert compiled
+      // away under NDEBUG and silently returned a possibly ever-growing
+      // graph, breaking the engine's termination argument.
+      if (Stats)
+        ++Stats->BudgetExhaustions;
+      return TypeGraph::makeAny();
     }
   }
   // Cycle introduction can make previously distinct vertices
@@ -255,4 +269,10 @@ TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
   assert(graphIncludes(Gn, Gnew, Syms) && "widening must include new graph");
 #endif
   return Gn;
+}
+
+TypeGraph gaia::detail::graftReplace(const TypeGraph &G, NodeId Va,
+                                     const TypeGraph &Rep,
+                                     const TypeGraph::Topology &Topo) {
+  return graftReplaceImpl(G, Va, Rep, Topo);
 }

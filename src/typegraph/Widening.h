@@ -45,7 +45,12 @@ enum class WidenMode : uint8_t { Paper, DepthK };
 
 /// Knobs for the widening. MaxTransforms is a defensive bound on the
 /// transformation loop (the paper proves termination; the cap guards
-/// implementation bugs and is asserted never to fire in tests).
+/// implementation bugs). If the budget is ever exhausted the widening
+/// gives up on shrinking and returns the Any graph — a sound,
+/// terminating fallback that works in release builds too (it used to be
+/// a debug-only assert, which made NDEBUG builds silently return a
+/// possibly ever-growing graph). Exhaustions are counted in
+/// WideningStats::BudgetExhaustions.
 struct WideningOptions {
   NormalizeOptions Norm;
   uint32_t MaxTransforms = 512;
@@ -66,6 +71,11 @@ struct WideningStats {
   uint64_t Replacements = 0;
   uint64_t DatabaseHits = 0;
   uint64_t Invocations = 0;
+  /// Times the transformation budget collapsed the result to Any.
+  uint64_t BudgetExhaustions = 0;
+  /// Widenings answered by the OpCache memo layer (the rule counters
+  /// above only tick on actual recomputations).
+  uint64_t CacheHits = 0;
 };
 
 /// Computes Gold V Gnew. Both inputs must be normalized; the result is
@@ -74,6 +84,19 @@ TypeGraph graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
                      const SymbolTable &Syms,
                      const WideningOptions &Opts = {},
                      WideningStats *Stats = nullptr);
+
+namespace detail {
+
+/// Splices a copy of \p Rep in place of the subtree rooted at or-vertex
+/// \p Va of \p G, redirecting *every* incoming edge of \p Va (not just
+/// the BFS-tree parent edge) to the replacement. Mid-widening graphs can
+/// carry multiple incoming edges on an or-vertex (back edges created by
+/// the cycle introduction rule); redirecting only the tree edge would
+/// leave the others pointing at the stale subtree. Exposed for tests.
+TypeGraph graftReplace(const TypeGraph &G, NodeId Va, const TypeGraph &Rep,
+                       const TypeGraph::Topology &Topo);
+
+} // namespace detail
 
 } // namespace gaia
 

@@ -11,6 +11,7 @@
 
 #include "gaia/Engine.h"
 
+#include "core/Analyzer.h"
 #include "domains/PFLeaf.h"
 #include "domains/TypeLeaf.h"
 #include "typegraph/GrammarParser.h"
@@ -158,6 +159,62 @@ TEST_F(EngineTest, PolyvariantEntries) {
   expectArg(Out, 1, "T ::= f(Any).");
   // main + two p entries.
   EXPECT_GE(Eng->stats().InputPatterns, 3u);
+}
+
+TEST_F(EngineTest, RepeatedCallPatternsShareOneEntry) {
+  // Both calls of p present the same input pattern; the hashed memo
+  // lookup must find the first entry for the second call instead of
+  // allocating a duplicate.
+  load("main(X,Y) :- p(a,X), p(a,Y).\n"
+       "p(X,X).\n");
+  Eng = std::make_unique<Engine<TypeLeaf>>(NProg, Ctx);
+  PatSub<TypeLeaf> In = PatSub<TypeLeaf>::top(Ctx, 2);
+  PatSub<TypeLeaf> Out = Eng->solve(Syms.functor("main", 2), In);
+  ASSERT_FALSE(Out.isBottom());
+  EXPECT_EQ(Eng->stats().InputPatterns, 2u); // main + one p entry
+  EXPECT_GE(Eng->stats().EntryLookups, 2u);
+}
+
+TEST_F(EngineTest, ExhaustedFixpointBudgetFallsBackToTop) {
+  // Regression for the silent-non-convergence bug: the stabilization
+  // guard used to be assert(Rounds < 10000), which compiles away under
+  // NDEBUG and let release builds return a dirty (non-converged) result
+  // as if final. With the budget too small to converge, the engine must
+  // take the explicit failure path: degrade to top (sound), count the
+  // abort, and still terminate — in every build mode.
+  load("append([],X,X).\n"
+       "append([F|T],S,[F|R]) :- append(T,S,R).\n");
+  EngineOptions Opts;
+  Opts.MaxFixpointRounds = 1;
+  PatSub<TypeLeaf> Out = analyze("append", 3, Opts);
+  EXPECT_GE(Eng->stats().FixpointAborts, 1u);
+  ASSERT_FALSE(Out.isBottom());
+  // The fallback must still cover the true answer (soundness).
+  TypeGraph List = parse("T ::= [] | cons(Any,T).");
+  EXPECT_TRUE(graphIncludes(Out.slotValue(Ctx, 0), List, Syms));
+}
+
+TEST_F(EngineTest, DefaultBudgetConvergesWithoutAborts) {
+  load("append([],X,X).\n"
+       "append([F|T],S,[F|R]) :- append(T,S,R).\n");
+  analyze("append", 3);
+  EXPECT_EQ(Eng->stats().FixpointAborts, 0u);
+}
+
+TEST_F(EngineTest, AnalyzerSurfacesNonConvergence) {
+  const char *Src = "append([],X,X).\n"
+                    "append([F|T],S,[F|R]) :- append(T,S,R).\n";
+  AnalyzerOptions Tight;
+  Tight.MaxFixpointRounds = 1;
+  AnalysisResult R = analyzeProgram(Src, "append(any,any,any)", Tight);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Converged);
+  EXPECT_GE(R.Stats.FixpointAborts, 1u);
+
+  AnalysisResult R2 = analyzeProgram(Src, "append(any,any,any)");
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_TRUE(R2.Converged);
+  EXPECT_EQ(R2.Stats.FixpointAborts, 0u);
 }
 
 TEST_F(EngineTest, StatsAreCounted) {

@@ -1,0 +1,216 @@
+//===- tests/InternerPropertyTest.cpp - Hash-consing / op-cache tests -----==//
+///
+/// \file
+/// Seeded, deterministic property tests for the canonical-id layer:
+///
+///   - interning is language-preserving: the canonical representative of
+///     intern(G) is language-equal to G;
+///   - the canonical-id invariant: language-equal graphs (including
+///     structurally different hand-built ones) receive equal ids, and
+///     OpCache::equals is therefore an O(1) id comparison agreeing with
+///     the two-walk graphEquals;
+///   - cached operation results equal uncached recomputation across
+///     union / intersection / inclusion / widening on generated graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/GraphInterner.h"
+#include "typegraph/GrammarParser.h"
+#include "typegraph/GrammarPrinter.h"
+#include "typegraph/GraphOps.h"
+#include "typegraph/OpCache.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gaia;
+
+namespace {
+
+/// Random raw (pre-normalization) graph over a small functor alphabet.
+/// Depth-bounded recursive construction; normalizeGraph turns the result
+/// into the canonical form all analyzer values are in.
+class GraphGen {
+public:
+  GraphGen(SymbolTable &Syms, uint32_t Seed) : Syms(Syms), Rng(Seed) {}
+
+  TypeGraph graph(unsigned Depth) {
+    TypeGraph G;
+    NodeId Root = genOr(G, Depth);
+    G.setRoot(Root);
+    return normalizeGraph(G, Syms);
+  }
+
+private:
+  NodeId genOr(TypeGraph &G, unsigned Depth) {
+    std::vector<NodeId> Alts;
+    unsigned NumAlts = 1 + Rng() % 3;
+    for (unsigned I = 0; I != NumAlts; ++I)
+      Alts.push_back(genAlt(G, Depth));
+    return G.addOr(std::move(Alts));
+  }
+
+  NodeId genAlt(TypeGraph &G, unsigned Depth) {
+    switch (Rng() % (Depth == 0 ? 4u : 7u)) {
+    case 0:
+      return G.addAny();
+    case 1:
+      return G.addInt();
+    case 2:
+      return G.addFunc(Syms.nilFunctor(), {});
+    case 3:
+      return G.addFunc(Syms.functor("a", 0), {});
+    case 4:
+      return G.addFunc(Syms.consFunctor(),
+                       {genOr(G, Depth - 1), genOr(G, Depth - 1)});
+    case 5:
+      return G.addFunc(Syms.functor("s", 1), {genOr(G, Depth - 1)});
+    default:
+      return G.addFunc(Syms.functor("f", 2),
+                       {genOr(G, Depth - 1), genOr(G, Depth - 1)});
+    }
+  }
+
+  SymbolTable &Syms;
+  std::mt19937 Rng;
+};
+
+class InternerPropertyTest : public ::testing::TestWithParam<uint32_t> {
+protected:
+  TypeGraph parse(const char *Text) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Text, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err;
+    return G ? *G : TypeGraph::makeBottom();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_P(InternerPropertyTest, InternIsLanguagePreserving) {
+  GraphGen Gen(Syms, GetParam());
+  GraphInterner Interner(Syms);
+  for (unsigned I = 0; I != 20; ++I) {
+    TypeGraph G = Gen.graph(1 + I % 3);
+    CanonId Id = Interner.intern(G);
+    EXPECT_TRUE(graphEquals(Interner.graph(Id), G, Syms))
+        << "canonical representative changed the language of\n"
+        << printGrammar(G, Syms);
+    // Interning the same graph again is stable.
+    EXPECT_EQ(Interner.intern(G), Id);
+  }
+}
+
+TEST_P(InternerPropertyTest, LanguageEqualGraphsShareIds) {
+  GraphGen Gen(Syms, GetParam() * 7919 + 17);
+  GraphInterner Interner(Syms);
+  for (unsigned I = 0; I != 12; ++I) {
+    TypeGraph G = Gen.graph(1 + I % 3);
+    CanonId Id = Interner.intern(G);
+    // Language-preserving transformations must not mint new ids.
+    EXPECT_EQ(Interner.intern(normalizeGraph(G, Syms)), Id);
+    EXPECT_EQ(Interner.intern(graphUnion(G, G, Syms)), Id);
+    EXPECT_EQ(Interner.intern(graphIntersect(G, G, Syms)), Id);
+  }
+}
+
+TEST_P(InternerPropertyTest, CachedOpsEqualUncachedRecomputation) {
+  GraphGen Gen(Syms, GetParam() * 104729 + 3);
+  OpCache Ops(Syms, NormalizeOptions{});
+  WideningOptions WOpts;
+  for (unsigned I = 0; I != 10; ++I) {
+    TypeGraph A = Gen.graph(1 + I % 3);
+    TypeGraph B = Gen.graph(1 + (I + 1) % 3);
+
+    TypeGraph U = Ops.unionOf(A, B);
+    EXPECT_TRUE(graphEquals(U, graphUnion(A, B, Syms), Syms));
+    TypeGraph M = Ops.intersectOf(A, B);
+    EXPECT_TRUE(graphEquals(M, graphIntersect(A, B, Syms), Syms));
+    EXPECT_EQ(Ops.includes(A, B), graphIncludes(A, B, Syms));
+    EXPECT_EQ(Ops.includes(B, A), graphIncludes(B, A, Syms));
+    TypeGraph W = Ops.widenOf(A, B, WOpts, nullptr);
+    EXPECT_TRUE(graphEquals(W, graphWiden(A, B, Syms, WOpts), Syms));
+
+    // Second round: answered from the cache, same results.
+    uint64_t HitsBefore = Ops.stats().Hits;
+    EXPECT_TRUE(graphEquals(Ops.unionOf(A, B), U, Syms));
+    EXPECT_TRUE(graphEquals(Ops.unionOf(B, A), U, Syms)); // commutative key
+    EXPECT_TRUE(graphEquals(Ops.intersectOf(A, B), M, Syms));
+    EXPECT_TRUE(graphEquals(Ops.widenOf(A, B, WOpts, nullptr), W, Syms));
+    EXPECT_GE(Ops.stats().Hits, HitsBefore + 4);
+  }
+}
+
+TEST_P(InternerPropertyTest, EqualsMatchesGraphEquals) {
+  GraphGen Gen(Syms, GetParam() * 31 + 5);
+  OpCache Ops(Syms, NormalizeOptions{});
+  std::vector<TypeGraph> Pool;
+  for (unsigned I = 0; I != 8; ++I)
+    Pool.push_back(Gen.graph(1 + I % 3));
+  for (const TypeGraph &A : Pool)
+    for (const TypeGraph &B : Pool)
+      EXPECT_EQ(Ops.equals(A, B), graphEquals(A, B, Syms));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternerPropertyTest,
+                         ::testing::Range(0u, 12u));
+
+//===----------------------------------------------------------------------===//
+// Deterministic corner cases.
+//===----------------------------------------------------------------------===//
+
+class InternerTest : public ::testing::Test {
+protected:
+  TypeGraph parse(const char *Text) {
+    std::string Err;
+    std::optional<TypeGraph> G = parseGrammar(Text, Syms, &Err);
+    EXPECT_TRUE(G.has_value()) << Err;
+    return G ? *G : TypeGraph::makeBottom();
+  }
+
+  SymbolTable Syms;
+};
+
+TEST_F(InternerTest, HandBuiltConstructorsInternCanonically) {
+  GraphInterner Interner(Syms);
+  // The hand-built make* graphs and their normalized forms must share
+  // ids — this is what makes the structural fast path safe.
+  EXPECT_EQ(Interner.intern(TypeGraph::makeAny()),
+            Interner.intern(normalizeGraph(TypeGraph::makeAny(), Syms)));
+  EXPECT_EQ(Interner.intern(TypeGraph::makeInt()),
+            Interner.intern(normalizeGraph(TypeGraph::makeInt(), Syms)));
+  EXPECT_EQ(Interner.intern(TypeGraph::makeBottom()),
+            Interner.intern(normalizeGraph(TypeGraph::makeBottom(), Syms)));
+  TypeGraph List = TypeGraph::makeAnyList(Syms);
+  EXPECT_EQ(Interner.intern(List),
+            Interner.intern(normalizeGraph(List, Syms)));
+  // Distinct languages get distinct ids.
+  EXPECT_NE(Interner.intern(TypeGraph::makeAny()),
+            Interner.intern(TypeGraph::makeInt()));
+  EXPECT_NE(Interner.intern(List), Interner.intern(TypeGraph::makeAny()));
+}
+
+TEST_F(InternerTest, StructurallyDifferentSpellingsShareAnId) {
+  GraphInterner Interner(Syms);
+  // Two grammars for the same language written differently: the second
+  // has a redundant unfolding that normalization collapses, but we
+  // intern a *hand-built* pre-collapse variant via parseGrammar (which
+  // normalizes) plus the canonical list constructor.
+  TypeGraph A = parse("T ::= [] | cons(Any,T).");
+  TypeGraph B = TypeGraph::makeAnyList(Syms);
+  EXPECT_EQ(Interner.intern(A), Interner.intern(B));
+  EXPECT_EQ(Interner.stats().Misses, 1u);
+}
+
+TEST_F(InternerTest, StructuralHashIsBfsCanonical) {
+  // makeAny builds [Any, Or] with root 1; the normalized form is
+  // [Or, Any] with root 0. Same BFS shape, same hash.
+  TypeGraph A = TypeGraph::makeAny();
+  TypeGraph B = normalizeGraph(A, Syms);
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+  EXPECT_TRUE(structuralEqual(A, B));
+  EXPECT_FALSE(structuralEqual(A, TypeGraph::makeInt()));
+}
+
+} // namespace

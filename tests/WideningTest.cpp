@@ -136,6 +136,67 @@ TEST_F(WideningTest, PreservesNestedStringType) {
   EXPECT_TRUE(graphEquals(W, Expect, Syms)) << printGrammar(W, Syms);
 }
 
+TEST_F(WideningTest, ExhaustedTransformBudgetCollapsesToAny) {
+  // Regression for the silent-non-convergence bug: the budget guard used
+  // to be assert(false), which compiles away under NDEBUG and let
+  // release builds return a possibly ever-growing graph — breaking the
+  // finiteness of the widening chain the engine's termination rests on.
+  // With a zero budget the first transformation must trip the explicit
+  // fallback: a sound collapse to Any, with the exhaustion counted.
+  TypeGraph Old = parse("T ::= [] | cons(Any,T1).\n"
+                        "T1 ::= [].");
+  TypeGraph New = parse("T ::= [] | cons(Any,T1).\n"
+                        "T1 ::= [] | cons(Any,T2).\n"
+                        "T2 ::= [].");
+  WideningOptions Opts;
+  Opts.MaxTransforms = 0;
+  WideningStats Stats;
+  TypeGraph W = graphWiden(Old, New, Syms, Opts, &Stats);
+  EXPECT_EQ(Stats.BudgetExhaustions, 1u);
+  EXPECT_TRUE(graphEquals(W, TypeGraph::makeAny(), Syms))
+      << printGrammar(W, Syms);
+  // Still an upper bound of both inputs.
+  EXPECT_TRUE(graphIncludes(W, Old, Syms));
+  EXPECT_TRUE(graphIncludes(W, New, Syms));
+}
+
+TEST_F(WideningTest, DefaultTransformBudgetNeverFires) {
+  TypeGraph Old = parse("T ::= [] | cons(Any,T1).\n"
+                        "T1 ::= [].");
+  TypeGraph New = parse("T ::= [] | cons(Any,T1).\n"
+                        "T1 ::= [] | cons(Any,T2).\n"
+                        "T2 ::= [].");
+  WideningStats Stats;
+  graphWiden(Old, New, Syms, WideningOptions(), &Stats);
+  EXPECT_EQ(Stats.BudgetExhaustions, 0u);
+}
+
+TEST_F(WideningTest, GraftReplaceRedirectsAllIncomingEdges) {
+  // Regression for the stale-subtree bug: mid-widening graphs can hold
+  // several incoming edges on one or-vertex (the cycle introduction rule
+  // creates back edges). graftReplace used to redirect only the
+  // BFS-tree-parent edge, leaving the other parents pointing at the
+  // replaced subtree. Build the sharing directly: f/1 and g/1 both point
+  // at the same or-vertex.
+  FunctorId FF = Syms.functor("f", 1);
+  FunctorId GF = Syms.functor("g", 1);
+  FunctorId AF = Syms.functor("a", 0);
+  TypeGraph G;
+  NodeId Shared = G.addOr({G.addFunc(AF, {})});
+  NodeId F = G.addFunc(FF, {Shared});
+  NodeId Gv = G.addFunc(GF, {Shared});
+  G.setRoot(G.addOr({F, Gv}));
+
+  TypeGraph Rep = parse("T ::= b.");
+  TypeGraph Out =
+      detail::graftReplace(G, Shared, Rep, G.computeTopology());
+  // Both f and g must now see the replacement: f(b) | g(b), with no
+  // residue of the old a-subtree anywhere.
+  TypeGraph Want = parse("T ::= f(B) | g(B2).\nB ::= b.\nB2 ::= b.");
+  EXPECT_TRUE(graphEquals(normalizeGraph(Out, Syms), Want, Syms))
+      << printGrammar(normalizeGraph(Out, Syms), Syms);
+}
+
 TEST_F(WideningTest, WidenFromBottom) {
   TypeGraph Bot = TypeGraph::makeBottom();
   TypeGraph List = TypeGraph::makeAnyList(Syms);
