@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the Table 3 bench snapshot.
+
+Compares a freshly written BENCH_table3.json against the committed
+baseline (bench/BENCH_table3.baseline.json) and fails when
+
+  * total_solve_seconds regresses by more than the tolerance
+    (default 30%, CI runners are noisy but not *that* noisy), or
+  * any program reports converged: false (a fixpoint loop fell back to
+    top — the result is sound but not the analysis' normal output, and
+    timing comparisons against it are meaningless).
+
+Usage: check_bench_regression.py <current.json> [<baseline.json>]
+Exit status: 0 ok, 1 regression/non-convergence, 2 bad invocation.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.30
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current_path = argv[1]
+    baseline_path = argv[2] if len(argv) == 3 else "bench/BENCH_table3.baseline.json"
+
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failed = False
+
+    for prog in current["programs"]:
+        if not prog.get("converged", True):
+            print(f"FAIL: {prog['key']} did not converge")
+            failed = True
+
+    cur = current["total_solve_seconds"]
+    base = baseline["total_solve_seconds"]
+    limit = base * (1.0 + TOLERANCE)
+    verdict = "ok" if cur <= limit else "REGRESSION"
+    print(
+        f"total_solve_seconds: current {cur:.3f}s vs baseline {base:.3f}s "
+        f"(limit {limit:.3f}s at +{TOLERANCE:.0%}) -> {verdict}"
+    )
+    if cur > limit:
+        failed = True
+
+    # Informational per-program deltas (not gated: single-program noise
+    # on shared runners is too high; the sum is the stable signal).
+    base_by_key = {p["key"]: p for p in baseline["programs"]}
+    for prog in current["programs"]:
+        b = base_by_key.get(prog["key"])
+        if b is None:
+            continue
+        delta = prog["solve_seconds"] - b["solve_seconds"]
+        print(
+            f"  {prog['key']:4s} {b['solve_seconds']:8.4f}s -> "
+            f"{prog['solve_seconds']:8.4f}s ({delta:+.4f}s)"
+        )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

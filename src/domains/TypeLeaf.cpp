@@ -6,54 +6,10 @@
 
 using namespace gaia;
 
-bool TypeLeaf::restrictTo(const Context &Ctx, const Value &V, FunctorId Fn,
-                          std::vector<Value> &ArgsOut) {
-  uint32_t Arity = Ctx.Syms.functorArity(Fn);
-  ArgsOut.clear();
-  if (V.isBottomGraph())
-    return false;
-  const TGNode &Root = V.node(V.root());
-  // Scan the root or-vertex's alternatives.
-  for (NodeId S : Root.Succs) {
-    const TGNode &N = V.node(S);
-    if (N.Kind == NodeKind::Any) {
-      // Any admits every functor with Any arguments.
-      for (uint32_t I = 0; I != Arity; ++I)
-        ArgsOut.push_back(TypeGraph::makeAny());
-      return true;
-    }
-    if (N.Kind == NodeKind::Int) {
-      if (Ctx.Syms.isIntegerLiteral(Fn))
-        return true; // literal below Int; no arguments
-      continue;
-    }
-    if (N.Kind == NodeKind::Func && N.Fn == Fn) {
-      for (NodeId ArgOr : N.Succs)
-        ArgsOut.push_back(normalizeFrom(V, {ArgOr}, Ctx.Syms, Ctx.Norm));
-      return true;
-    }
-  }
-  return false;
-}
-
-TypeLeaf::Value TypeLeaf::construct(const Context &Ctx, FunctorId Fn,
-                                    const std::vector<Value> &Args) {
-  assert(Ctx.Syms.functorArity(Fn) == Args.size() && "arity mismatch");
-  TypeGraph G;
-  std::vector<NodeId> ArgOrs;
-  ArgOrs.reserve(Args.size());
-  bool AnyArgBottom = false;
-  for (const Value &A : Args) {
-    if (A.isBottomGraph())
-      AnyArgBottom = true;
-    ArgOrs.push_back(copySubgraph(A, A.root(), G));
-  }
-  if (AnyArgBottom)
-    return TypeGraph::makeBottom();
-  NodeId F = G.addFunc(Fn, std::move(ArgOrs));
-  G.setRoot(G.addOr({F}));
-  return normalizeGraph(G, Ctx.Syms, Ctx.Norm);
-}
+// restrictTo and construct live in typegraph/GraphOps.cpp as
+// graphRestrict / graphConstruct (shared with the OpCache memo layer);
+// the adapter methods in the header dispatch between the cached and the
+// raw implementations.
 
 std::string TypeLeaf::print(const Context &Ctx, const Value &V) {
   return printGrammarInline(V, Ctx.Syms);

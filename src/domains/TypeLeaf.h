@@ -14,6 +14,8 @@
 #include "typegraph/OpCache.h"
 #include "typegraph/Widening.h"
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,30 +28,52 @@ namespace gaia {
 struct TypeLeaf {
   using Value = TypeGraph;
 
+  /// Lazily built canonical leaf constants, shared by all copies of one
+  /// Context. The stored instances are interned once (their intern cache
+  /// rides along on every copy handed out), so the constant-returning
+  /// accessors — called on every builtin refinement — cost a graph copy,
+  /// not a re-normalization or a re-hash.
+  struct Constants {
+    TypeGraph Any = TypeGraph::makeAny();
+    TypeGraph Int = TypeGraph::makeInt();
+    TypeGraph Bottom = TypeGraph::makeBottom();
+    std::optional<TypeGraph> AnyList;
+  };
+
   struct Context {
     SymbolTable &Syms;
     NormalizeOptions Norm;
     WideningOptions Widen;
     WideningStats *WStats = nullptr;
     /// Optional memo layer (support/GraphInterner.h + typegraph/OpCache.h).
-    /// When set, includes/meet/join/widen hit the canonical-id caches and
-    /// canonKey returns interner ids; when null every op recomputes
-    /// (tests that probe the raw operations construct contexts this way).
+    /// When set, includes/meet/join/widen/restrictTo/construct hit the
+    /// canonical-id caches and canonKey returns interner ids; when null
+    /// every op recomputes (tests that probe the raw operations construct
+    /// contexts this way).
     OpCache *Ops = nullptr;
+    std::shared_ptr<Constants> Consts = std::make_shared<Constants>();
   };
 
-  static Value any(const Context &) { return TypeGraph::makeAny(); }
-  static Value intValue(const Context &) { return TypeGraph::makeInt(); }
-  static Value listValue(const Context &Ctx) {
-    return TypeGraph::makeAnyList(Ctx.Syms);
+  static Value any(const Context &Ctx) {
+    return primed(Ctx, Ctx.Consts->Any);
   }
-  static Value bottom(const Context &) { return TypeGraph::makeBottom(); }
+  static Value intValue(const Context &Ctx) {
+    return primed(Ctx, Ctx.Consts->Int);
+  }
+  static Value listValue(const Context &Ctx) {
+    if (!Ctx.Consts->AnyList)
+      Ctx.Consts->AnyList = TypeGraph::makeAnyList(Ctx.Syms);
+    return primed(Ctx, *Ctx.Consts->AnyList);
+  }
+  static Value bottom(const Context &Ctx) {
+    return primed(Ctx, Ctx.Consts->Bottom);
+  }
 
   static bool isBottom(const Context &, const Value &V) {
     return V.isBottomGraph();
   }
   static bool isAny(const Context &Ctx, const Value &V) {
-    return includes(Ctx, V, TypeGraph::makeAny());
+    return includes(Ctx, V, any(Ctx));
   }
 
   static bool includes(const Context &Ctx, const Value &Big,
@@ -91,17 +115,34 @@ struct TypeLeaf {
   /// if no such terms exist (abstract unification fails); otherwise
   /// fills \p ArgsOut with one value per argument.
   static bool restrictTo(const Context &Ctx, const Value &V, FunctorId Fn,
-                         std::vector<Value> &ArgsOut);
+                         std::vector<Value> &ArgsOut) {
+    if (Ctx.Ops)
+      return Ctx.Ops->restrictOf(V, Fn, ArgsOut);
+    return graphRestrict(V, Fn, Ctx.Syms, Ctx.Norm, ArgsOut);
+  }
 
   /// Builds the value f(a1, ..., an) from argument values.
   static Value construct(const Context &Ctx, FunctorId Fn,
-                         const std::vector<Value> &Args);
+                         const std::vector<Value> &Args) {
+    if (Ctx.Ops)
+      return Ctx.Ops->constructOf(Fn, Args);
+    return graphConstruct(Fn, Args, Ctx.Syms, Ctx.Norm);
+  }
 
   /// The type graph describing the value (identity here; the PF leaf
   /// returns Any). Lets clients extract graphs uniformly.
   static TypeGraph toGraph(const Context &, const Value &V) { return V; }
 
   static std::string print(const Context &Ctx, const Value &V);
+
+private:
+  /// Returns a copy of the shared constant, priming its intern cache on
+  /// first use so every copy interns in O(1).
+  static Value primed(const Context &Ctx, const TypeGraph &G) {
+    if (Ctx.Ops)
+      Ctx.Ops->canonId(G);
+    return G;
+  }
 };
 
 } // namespace gaia

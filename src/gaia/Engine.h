@@ -24,6 +24,7 @@
 
 #include "pat/PatSub.h"
 #include "prolog/Normalize.h"
+#include "support/SmallPtrMap.h"
 
 #include <chrono>
 #include <cstdio>
@@ -132,9 +133,12 @@ private:
     bool Dirty = true;
     bool OnStack = false;
     bool UsedRecursively = false;
-    std::vector<std::pair<Entry *, uint64_t>> Deps;
+    /// Callee -> latest version read this pass. Hub predicates can
+    /// accumulate hundreds of dependencies; the hybrid map keeps
+    /// recordDep O(1) instead of a per-call linear scan.
+    SmallPtrMap<Entry, uint64_t> Deps;
     /// Entries whose last pass used this one (reverse of Deps).
-    std::vector<Entry *> Dependents;
+    SmallPtrSet<Entry> Dependents;
   };
 
   Entry *solveCall(FunctorId Pred, Sub In, Entry *Caller);
@@ -197,19 +201,9 @@ void Engine<Leaf>::recordDep(Entry *From, Entry *To) {
   // that read two different versions of the same callee was dirtied in
   // between and repeats, so only the final version matters for the
   // depsUnchanged check.
-  bool Known = false;
-  for (auto &[D, V] : From->Deps)
-    if (D == To) {
-      V = To->Version;
-      Known = true;
-      break;
-    }
-  if (!Known)
-    From->Deps.emplace_back(To, To->Version);
-  for (Entry *D : To->Dependents)
-    if (D == From)
-      return;
-  To->Dependents.push_back(From);
+  bool Inserted;
+  From->Deps.lookupOrInsert(To, Inserted) = To->Version;
+  To->Dependents.insert(From);
 }
 
 template <typename Leaf>

@@ -4,26 +4,35 @@
 
 #include "typegraph/Normalize.h"
 
+#include <atomic>
+
 using namespace gaia;
 
 uint64_t gaia::structuralHash(const TypeGraph &G) {
-  if (G.root() == InvalidNode)
-    return 0x1507;
-  TypeGraph::Topology T = G.computeTopology();
-  std::vector<uint32_t> Remap(G.numNodes(), ~0u);
-  for (size_t I = 0; I != T.BfsOrder.size(); ++I)
-    Remap[T.BfsOrder[I]] = static_cast<uint32_t>(I);
-  std::size_t Seed = T.BfsOrder.size();
-  for (NodeId V : T.BfsOrder) {
-    const TGNode &N = G.node(V);
-    hashCombine(Seed, static_cast<std::size_t>(N.Kind));
-    if (N.Kind == NodeKind::Func)
-      hashCombine(Seed, N.Fn);
-    hashCombine(Seed, N.Succs.size());
-    for (NodeId S : N.Succs)
-      hashCombine(Seed, Remap[S]);
+  if (G.structSigValid())
+    return G.structSig();
+  uint64_t Result;
+  if (G.root() == InvalidNode) {
+    Result = 0x1507;
+  } else {
+    TypeGraph::Topology T = G.computeTopology();
+    std::vector<uint32_t> Remap(G.numNodes(), ~0u);
+    for (size_t I = 0; I != T.BfsOrder.size(); ++I)
+      Remap[T.BfsOrder[I]] = static_cast<uint32_t>(I);
+    std::size_t Seed = T.BfsOrder.size();
+    for (NodeId V : T.BfsOrder) {
+      const TGNode &N = G.node(V);
+      hashCombine(Seed, static_cast<std::size_t>(N.Kind));
+      if (N.Kind == NodeKind::Func)
+        hashCombine(Seed, N.Fn);
+      hashCombine(Seed, N.Succs.size());
+      for (NodeId S : N.Succs)
+        hashCombine(Seed, Remap[S]);
+    }
+    Result = Seed;
   }
-  return Seed;
+  G.setStructSig(Result);
+  return Result;
 }
 
 bool gaia::structuralEqual(const TypeGraph &A, const TypeGraph &B) {
@@ -57,12 +66,23 @@ bool gaia::structuralEqual(const TypeGraph &A, const TypeGraph &B) {
 
 namespace {
 
+/// Process-wide epoch source for interner identity tags. Epoch 0 is the
+/// "never interned" state of a fresh graph, so the counter starts at 1.
+/// Atomic: individual interners are single-threaded, but interners for
+/// independent analyses may be constructed concurrently, and a duplicated
+/// epoch would let a graph smuggle a cached id across interners.
+uint64_t nextInternerEpoch() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 /// Serializes the canonical minimal automaton of \p G into a flat word
 /// sequence. buildAutomaton numbers states deterministically from the
 /// structure alone, so the serialization is a canonical language key.
 std::vector<uint64_t> automatonKey(const TypeGraph &G,
-                                   const SymbolTable &Syms) {
-  GrammarAutomaton A = buildAutomaton(G, Syms);
+                                   const SymbolTable &Syms,
+                                   NormalizeScratch &Scratch) {
+  GrammarAutomaton A = buildAutomaton(G, Syms, &Scratch);
   std::vector<uint64_t> Key;
   if (A.Empty) {
     Key.push_back(0xE0);
@@ -83,16 +103,27 @@ std::vector<uint64_t> automatonKey(const TypeGraph &G,
 
 } // namespace
 
+GraphInterner::GraphInterner(const SymbolTable &Syms)
+    : Syms(Syms), Epoch(nextInternerEpoch()) {}
+
 CanonId GraphInterner::intern(const TypeGraph &G) {
+  // O(1) path: this exact value object (or a copy of one) has been
+  // through this interner before.
+  if (G.internEpoch() == Epoch) {
+    ++St.IdHits;
+    return G.internId();
+  }
+
   uint64_t H = structuralHash(G);
   auto &Bucket = StructBuckets[H];
   for (const auto &[Rep, Id] : Bucket)
     if (structuralEqual(*Rep, G)) {
       ++St.StructHits;
+      G.setInternCache(Epoch, Id);
       return Id;
     }
 
-  std::vector<uint64_t> AKey = automatonKey(G, Syms);
+  std::vector<uint64_t> AKey = automatonKey(G, Syms, Scratch);
   auto It = AutoMap.find(AKey);
   if (It != AutoMap.end()) {
     // New shape of a known language: remember it so the next structural
@@ -100,13 +131,16 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
     ++St.AutoHits;
     Aliases.push_back(G);
     Bucket.emplace_back(&Aliases.back(), It->second);
+    G.setInternCache(Epoch, It->second);
     return It->second;
   }
 
   ++St.Misses;
   CanonId Id = static_cast<CanonId>(Canon.size());
   Canon.push_back(G);
+  Canon.back().setInternCache(Epoch, Id);
   Bucket.emplace_back(&Canon.back(), Id);
   AutoMap.emplace(std::move(AKey), Id);
+  G.setInternCache(Epoch, Id);
   return Id;
 }

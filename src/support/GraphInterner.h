@@ -31,6 +31,7 @@
 #define GAIA_SUPPORT_GRAPHINTERNER_H
 
 #include "support/Hashing.h"
+#include "typegraph/Normalize.h"
 #include "typegraph/TypeGraph.h"
 
 #include <deque>
@@ -47,7 +48,8 @@ constexpr CanonId InvalidCanon = ~0u;
 /// Hash of the BFS-canonical shape of the reachable part of \p G: two
 /// graphs that are structurally isomorphic under BFS renumbering (the
 /// numbering `compact` produces) hash equal. On outputs of normalizeGraph
-/// this is a *canonical* language hash.
+/// this is a *canonical* language hash. Memoized in the graph itself
+/// (TypeGraph::structSig); mutation invalidates, copies inherit.
 uint64_t structuralHash(const TypeGraph &G);
 
 /// True if \p A and \p B have identical BFS-canonical shapes (same
@@ -56,6 +58,7 @@ bool structuralEqual(const TypeGraph &A, const TypeGraph &B);
 
 /// Interning statistics (surfaced through EngineStats by the analyzer).
 struct InternStats {
+  uint64_t IdHits = 0;     ///< resolved by the graph's cached (epoch, id)
   uint64_t StructHits = 0; ///< resolved by the structural fast path
   uint64_t AutoHits = 0;   ///< new shape, known language (alias recorded)
   uint64_t Misses = 0;     ///< new language (canonical graph stored)
@@ -65,7 +68,7 @@ struct InternStats {
 /// interner per analysis, sharing the analysis' SymbolTable.
 class GraphInterner {
 public:
-  explicit GraphInterner(const SymbolTable &Syms) : Syms(Syms) {}
+  explicit GraphInterner(const SymbolTable &Syms);
 
   /// Non-copyable/movable: StructBuckets holds pointers into the Canon
   /// and Aliases deques, which a copy or move would leave dangling.
@@ -74,7 +77,10 @@ public:
 
   /// Interns \p G (which must be normalized — outputs of normalizeGraph /
   /// normalizeFrom or the canonical make* constructors) and returns its
-  /// canonical id. Language-equal graphs receive equal ids.
+  /// canonical id. Language-equal graphs receive equal ids. The resolved
+  /// id is written back into the graph's intern cache (tagged with this
+  /// interner's epoch), so re-interning the same value — every cached
+  /// leaf operation interns its operands — is a tag compare.
   CanonId intern(const TypeGraph &G);
 
   /// The canonical representative of \p Id (the first graph interned with
@@ -99,6 +105,12 @@ private:
       StructBuckets;
   /// Serialized minimal automaton -> id (canonical for any graph).
   std::unordered_map<std::vector<uint64_t>, CanonId, U64VectorHash> AutoMap;
+  /// Distinguishes this interner's cached ids from those of any other
+  /// interner a graph value may have met (one process hosts many
+  /// analyses); drawn from a process-wide counter.
+  uint64_t Epoch;
+  /// Normalization scratch for the automaton-key fallback path.
+  NormalizeScratch Scratch;
   InternStats St;
 };
 

@@ -1,0 +1,226 @@
+//===- support/SmallVector.h - Vector with inline small storage -----------==//
+///
+/// \file
+/// A dynamically sized array that stores up to `N` elements inline and
+/// only touches the heap when it spills past that capacity. The type
+/// graphs of the analyzer are dominated by vertices of arity <= 2 (the
+/// or-degree distribution of Table 1's programs, and every cons/2 cell),
+/// so storing successor lists inline turns the per-node heap allocation
+/// of `std::vector` — paid on every graph copy, product construction and
+/// normalization unfold — into plain member storage.
+///
+/// Restricted to trivially copyable element types: growth and copies are
+/// memcpy, and destruction never runs element destructors. That is all
+/// the id-vector use cases need and keeps the hot paths branch-light.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SUPPORT_SMALLVECTOR_H
+#define GAIA_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace gaia {
+
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector only supports trivially copyable elements");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> Init) { appendRange(Init.begin(), Init.end()); }
+
+  /// Implicit conversion from std::vector keeps call sites that build
+  /// successor lists in a std::vector compiling unchanged.
+  SmallVector(const std::vector<T> &V) { appendRange(V.data(), V.data() + V.size()); }
+
+  template <typename It> SmallVector(It First, It Last) {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  SmallVector(const SmallVector &Other) { appendRange(Other.begin(), Other.end()); }
+
+  SmallVector(SmallVector &&Other) noexcept { stealFrom(Other); }
+
+  SmallVector &operator=(const SmallVector &Other) {
+    if (this == &Other)
+      return *this;
+    assignRange(Other.begin(), Other.end());
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    if (!isInline())
+      std::free(Ptr);
+    stealFrom(Other);
+    return *this;
+  }
+
+  SmallVector &operator=(std::initializer_list<T> Init) {
+    assignRange(Init.begin(), Init.end());
+    return *this;
+  }
+
+  SmallVector &operator=(const std::vector<T> &V) {
+    assignRange(V.data(), V.data() + V.size());
+    return *this;
+  }
+
+  ~SmallVector() {
+    if (!isInline())
+      std::free(Ptr);
+  }
+
+  bool empty() const { return Count == 0; }
+  uint32_t size() const { return Count; }
+  uint32_t capacity() const { return Cap; }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Count; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Count; }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "index out of range");
+    return Ptr[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Count - 1]; }
+  const T &back() const { return (*this)[Count - 1]; }
+
+  void push_back(const T &V) {
+    if (Count == Cap)
+      grow(Count + 1);
+    Ptr[Count++] = V;
+  }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    push_back(T(std::forward<Args>(A)...));
+    return back();
+  }
+
+  void pop_back() {
+    assert(Count != 0 && "pop_back on empty vector");
+    --Count;
+  }
+
+  void clear() { Count = 0; }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Cap)
+      grow(NewCap);
+  }
+
+  void resize(size_t NewSize, const T &Fill = T()) {
+    if (NewSize > Count) {
+      reserve(NewSize);
+      std::fill(Ptr + Count, Ptr + NewSize, Fill);
+    }
+    Count = static_cast<uint32_t>(NewSize);
+  }
+
+  iterator erase(iterator Pos) {
+    assert(Pos >= begin() && Pos < end() && "erase position out of range");
+    std::memmove(Pos, Pos + 1, (end() - Pos - 1) * sizeof(T));
+    --Count;
+    return Pos;
+  }
+
+  iterator erase(iterator First, iterator Last) {
+    assert(First >= begin() && Last <= end() && First <= Last &&
+           "erase range out of range");
+    std::memmove(First, Last, (end() - Last) * sizeof(T));
+    Count -= static_cast<uint32_t>(Last - First);
+    return First;
+  }
+
+  friend bool operator==(const SmallVector &A, const SmallVector &B) {
+    return A.Count == B.Count && std::equal(A.begin(), A.end(), B.begin());
+  }
+  friend bool operator!=(const SmallVector &A, const SmallVector &B) {
+    return !(A == B);
+  }
+
+  /// True while the elements live in the inline buffer (exposed so the
+  /// property tests can pin down exactly when spilling happens).
+  bool isInline() const { return Ptr == inlineBuf(); }
+
+private:
+  T *inlineBuf() { return reinterpret_cast<T *>(Inline); }
+  const T *inlineBuf() const { return reinterpret_cast<const T *>(Inline); }
+
+  void grow(size_t MinCap) {
+    size_t NewCap = std::max<size_t>(MinCap, static_cast<size_t>(Cap) * 2);
+    T *NewPtr = static_cast<T *>(std::malloc(NewCap * sizeof(T)));
+    assert(NewPtr && "allocation failure");
+    std::memcpy(NewPtr, Ptr, Count * sizeof(T));
+    if (!isInline())
+      std::free(Ptr);
+    Ptr = NewPtr;
+    Cap = static_cast<uint32_t>(NewCap);
+  }
+
+  void appendRange(const T *First, const T *Last) {
+    size_t Len = static_cast<size_t>(Last - First);
+    reserve(Count + Len);
+    std::memcpy(Ptr + Count, First, Len * sizeof(T));
+    Count += static_cast<uint32_t>(Len);
+  }
+
+  void assignRange(const T *First, const T *Last) {
+    Count = 0;
+    appendRange(First, Last);
+  }
+
+  /// Takes Other's storage (heap block or element copy) and resets Other
+  /// to an empty inline state.
+  void stealFrom(SmallVector &Other) {
+    if (Other.isInline()) {
+      Ptr = inlineBuf();
+      Cap = N;
+      Count = Other.Count;
+      std::memcpy(Ptr, Other.Ptr, Count * sizeof(T));
+    } else {
+      Ptr = Other.Ptr;
+      Cap = Other.Cap;
+      Count = Other.Count;
+    }
+    Other.Ptr = Other.inlineBuf();
+    Other.Cap = N;
+    Other.Count = 0;
+  }
+
+  T *Ptr = inlineBuf();
+  uint32_t Count = 0;
+  uint32_t Cap = N;
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+};
+
+} // namespace gaia
+
+#endif // GAIA_SUPPORT_SMALLVECTOR_H

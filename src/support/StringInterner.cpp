@@ -2,8 +2,10 @@
 
 #include "support/StringInterner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <numeric>
 
 using namespace gaia;
 
@@ -35,6 +37,7 @@ FunctorId SymbolTable::functor(SymbolId Sym, uint32_t Arity) {
   FunctorId Id = static_cast<FunctorId>(Functors.size());
   Functors.push_back(Key);
   FunctorMap.emplace(Key, Id);
+  RanksValid = false;
   return Id;
 }
 
@@ -44,6 +47,26 @@ FunctorId SymbolTable::functor(std::string_view Name, uint32_t Arity) {
 
 std::string SymbolTable::functorString(FunctorId Fn) const {
   return functorName(Fn) + "/" + std::to_string(functorArity(Fn));
+}
+
+uint32_t SymbolTable::functorRank(FunctorId Fn) const {
+  assert(Fn < Functors.size() && "rank of unknown functor");
+  if (!RanksValid) {
+    std::vector<FunctorId> Order(Functors.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    std::sort(Order.begin(), Order.end(), [&](FunctorId A, FunctorId B) {
+      const std::string &NA = functorName(A);
+      const std::string &NB = functorName(B);
+      if (NA != NB)
+        return NA < NB;
+      return functorArity(A) < functorArity(B);
+    });
+    Ranks.assign(Functors.size(), 0);
+    for (uint32_t I = 0; I != Order.size(); ++I)
+      Ranks[Order[I]] = I;
+    RanksValid = true;
+  }
+  return Ranks[Fn];
 }
 
 bool SymbolTable::isIntegerLiteral(FunctorId Fn) const {

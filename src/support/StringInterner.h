@@ -73,6 +73,16 @@ public:
   /// (e.g. '0', '42', '-3'). Such literals are subsumed by the Int type.
   bool isIntegerLiteral(FunctorId Fn) const;
 
+  /// Rank of \p Fn in the (name, arity) lexicographic order over all
+  /// currently interned functors: functorRank(A) < functorRank(B) iff
+  /// (name(A), arity(A)) < (name(B), arity(B)). Lets the graph layer sort
+  /// or-successors and transition lists with integer comparisons instead
+  /// of string compares. Memoized; interning a new functor invalidates
+  /// the memo (ranks are recomputed lazily, and ranks handed out earlier
+  /// remain order-consistent only with each other, so callers must not
+  /// cache ranks across interning).
+  uint32_t functorRank(FunctorId Fn) const;
+
   /// Number of interned symbols.
   uint32_t numSymbols() const { return static_cast<uint32_t>(Names.size()); }
   /// Number of interned functors.
@@ -89,6 +99,9 @@ private:
   FunctorId Cons = InvalidFunctor;
   FunctorId Nil = InvalidFunctor;
   FunctorId Int = InvalidFunctor;
+  /// Memoized (name, arity) ranks, rebuilt lazily after interning.
+  mutable std::vector<uint32_t> Ranks;
+  mutable bool RanksValid = false;
 };
 
 } // namespace gaia

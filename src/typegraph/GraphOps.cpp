@@ -4,6 +4,7 @@
 
 #include "support/Debug.h"
 #include "support/Hashing.h"
+#include "support/SmallVector.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -14,17 +15,19 @@ namespace {
 
 /// Leaf/functor constituents of a vertex position, looking through nested
 /// or-vertices. On normalized graphs this is just the successor list of an
-/// or-vertex, but the helper is robust to raw product output too.
+/// or-vertex (Flip-Flop forbids or-or edges, so the seen-set stays tiny),
+/// but the helper is robust to raw product output too. Inline storage:
+/// no heap traffic on the normalized fast path.
 struct Constituents {
   bool IsAny = false;
   bool HasInt = false;
-  std::vector<NodeId> Funcs;
+  SmallVector<NodeId, 8> Funcs;
 };
 
 static Constituents constituentsOf(const TypeGraph &G, NodeId V) {
   Constituents C;
-  std::vector<NodeId> Stack{V};
-  std::unordered_set<NodeId> SeenOr;
+  SmallVector<NodeId, 8> Stack{V};
+  SmallVector<NodeId, 8> SeenOr;
   while (!Stack.empty()) {
     NodeId X = Stack.back();
     Stack.pop_back();
@@ -40,9 +43,11 @@ static Constituents constituentsOf(const TypeGraph &G, NodeId V) {
       C.Funcs.push_back(X);
       break;
     case NodeKind::Or:
-      if (SeenOr.insert(X).second)
+      if (std::find(SeenOr.begin(), SeenOr.end(), X) == SeenOr.end()) {
+        SeenOr.push_back(X);
         for (NodeId S : N.Succs)
           Stack.push_back(S);
+      }
       break;
     }
   }
@@ -124,14 +129,16 @@ bool gaia::graphEquals(const TypeGraph &A, const TypeGraph &B,
 }
 
 NodeId gaia::copySubgraph(const TypeGraph &From, NodeId V, TypeGraph &Out) {
-  std::unordered_map<NodeId, NodeId> Memo;
-  // Iterative two-phase copy: create all reachable nodes, then wire edges.
-  std::vector<NodeId> Order;
-  std::vector<NodeId> Stack{V};
+  // Iterative two-phase copy: create all reachable nodes, then wire
+  // edges. Ids are dense, so the memo is a flat remap array instead of a
+  // hash map.
+  std::vector<NodeId> Remap(From.numNodes(), InvalidNode);
+  SmallVector<NodeId, 16> Order;
+  SmallVector<NodeId, 16> Stack{V};
   while (!Stack.empty()) {
     NodeId X = Stack.back();
     Stack.pop_back();
-    if (Memo.count(X))
+    if (Remap[X] != InvalidNode)
       continue;
     const TGNode &N = From.node(X);
     NodeId Copy = InvalidNode;
@@ -149,19 +156,19 @@ NodeId gaia::copySubgraph(const TypeGraph &From, NodeId V, TypeGraph &Out) {
       Copy = Out.addOr({});
       break;
     }
-    Memo.emplace(X, Copy);
+    Remap[X] = Copy;
     Order.push_back(X);
     for (NodeId S : N.Succs)
       Stack.push_back(S);
   }
   for (NodeId X : Order) {
-    std::vector<NodeId> Succs;
+    SuccList Succs;
     Succs.reserve(From.node(X).Succs.size());
     for (NodeId S : From.node(X).Succs)
-      Succs.push_back(Memo.at(S));
-    Out.node(Memo.at(X)).Succs = std::move(Succs);
+      Succs.push_back(Remap[S]);
+    Out.node(Remap[X]).Succs = std::move(Succs);
   }
-  return Memo.at(V);
+  return Remap[V];
 }
 
 namespace {
@@ -183,7 +190,7 @@ public:
 
     Constituents C1 = constituentsOf(G1, V1);
     Constituents C2 = constituentsOf(G2, V2);
-    std::vector<NodeId> Children;
+    SuccList Children;
     if (C1.IsAny) {
       appendCopyOfConstituents(C2, G2, Children);
     } else if (C2.IsAny) {
@@ -205,7 +212,7 @@ public:
           const TGNode &N2 = G2.node(F2);
           if (N1.Fn != N2.Fn)
             continue;
-          std::vector<NodeId> Args;
+          SuccList Args;
           Args.reserve(N1.Succs.size());
           for (size_t J = 0, E = N1.Succs.size(); J != E; ++J)
             Args.push_back(intersect(N1.Succs[J], N2.Succs[J]));
@@ -223,7 +230,7 @@ public:
 
 private:
   void appendCopyOfConstituents(const Constituents &C, const TypeGraph &Src,
-                                std::vector<NodeId> &Children) {
+                                SuccList &Children) {
     if (C.IsAny) {
       Children.push_back(Out.addAny());
       return;
@@ -245,25 +252,82 @@ private:
 
 TypeGraph gaia::graphIntersect(const TypeGraph &G1, const TypeGraph &G2,
                                const SymbolTable &Syms,
-                               const NormalizeOptions &Opts) {
+                               const NormalizeOptions &Opts,
+                               NormalizeScratch *Scratch) {
   if (G1.isBottomGraph() || G2.isBottomGraph())
     return TypeGraph::makeBottom();
   Intersector I(G1, G2, Syms);
   NodeId Root = I.intersect(G1.root(), G2.root());
   TypeGraph Raw = I.take(Root);
-  return normalizeGraph(Raw, Syms, Opts);
+  return normalizeGraph(Raw, Syms, Opts, Scratch);
 }
 
 TypeGraph gaia::graphUnion(const TypeGraph &G1, const TypeGraph &G2,
                            const SymbolTable &Syms,
-                           const NormalizeOptions &Opts) {
+                           const NormalizeOptions &Opts,
+                           NormalizeScratch *Scratch) {
   if (G1.isBottomGraph())
-    return normalizeGraph(G2, Syms, Opts);
+    return normalizeGraph(G2, Syms, Opts, Scratch);
   if (G2.isBottomGraph())
-    return normalizeGraph(G1, Syms, Opts);
+    return normalizeGraph(G1, Syms, Opts, Scratch);
   TypeGraph Out;
   NodeId R1 = copySubgraph(G1, G1.root(), Out);
   NodeId R2 = copySubgraph(G2, G2.root(), Out);
   Out.setRoot(Out.addOr({R1, R2}));
-  return normalizeGraph(Out, Syms, Opts);
+  return normalizeGraph(Out, Syms, Opts, Scratch);
+}
+
+bool gaia::graphRestrict(const TypeGraph &V, FunctorId Fn,
+                         const SymbolTable &Syms,
+                         const NormalizeOptions &Opts,
+                         std::vector<TypeGraph> &ArgsOut,
+                         NormalizeScratch *Scratch) {
+  uint32_t Arity = Syms.functorArity(Fn);
+  ArgsOut.clear();
+  if (V.isBottomGraph())
+    return false;
+  const TGNode &Root = V.node(V.root());
+  // Scan the root or-vertex's alternatives.
+  for (NodeId S : Root.Succs) {
+    const TGNode &N = V.node(S);
+    if (N.Kind == NodeKind::Any) {
+      // Any admits every functor with Any arguments.
+      for (uint32_t I = 0; I != Arity; ++I)
+        ArgsOut.push_back(TypeGraph::makeAny());
+      return true;
+    }
+    if (N.Kind == NodeKind::Int) {
+      if (Syms.isIntegerLiteral(Fn))
+        return true; // literal below Int; no arguments
+      continue;
+    }
+    if (N.Kind == NodeKind::Func && N.Fn == Fn) {
+      for (NodeId ArgOr : N.Succs)
+        ArgsOut.push_back(normalizeFrom(V, {ArgOr}, Syms, Opts, Scratch));
+      return true;
+    }
+  }
+  return false;
+}
+
+TypeGraph gaia::graphConstruct(FunctorId Fn,
+                               const std::vector<TypeGraph> &Args,
+                               const SymbolTable &Syms,
+                               const NormalizeOptions &Opts,
+                               NormalizeScratch *Scratch) {
+  assert(Syms.functorArity(Fn) == Args.size() && "arity mismatch");
+  TypeGraph G;
+  SuccList ArgOrs;
+  ArgOrs.reserve(Args.size());
+  bool AnyArgBottom = false;
+  for (const TypeGraph &A : Args) {
+    if (A.isBottomGraph())
+      AnyArgBottom = true;
+    ArgOrs.push_back(copySubgraph(A, A.root(), G));
+  }
+  if (AnyArgBottom)
+    return TypeGraph::makeBottom();
+  NodeId F = G.addFunc(Fn, std::move(ArgOrs));
+  G.setRoot(G.addOr({F}));
+  return normalizeGraph(G, Syms, Opts, Scratch);
 }

@@ -41,12 +41,30 @@ bool graphEquals(const TypeGraph &A, const TypeGraph &B,
 /// when a cap fires).
 TypeGraph graphIntersect(const TypeGraph &G1, const TypeGraph &G2,
                          const SymbolTable &Syms,
-                         const NormalizeOptions &Opts = {});
+                         const NormalizeOptions &Opts = {},
+                         NormalizeScratch *Scratch = nullptr);
 
 /// Returns a normalized G3 with Cc(G1) ∪ Cc(G2) ⊆ Cc(G3).
 TypeGraph graphUnion(const TypeGraph &G1, const TypeGraph &G2,
                      const SymbolTable &Syms,
-                     const NormalizeOptions &Opts = {});
+                     const NormalizeOptions &Opts = {},
+                     NormalizeScratch *Scratch = nullptr);
+
+/// Restricts \p V to terms with principal functor \p Fn (the leaf-domain
+/// unification primitive): returns false if no such terms exist;
+/// otherwise fills \p ArgsOut with one normalized graph per argument.
+/// \p V must be normalized.
+bool graphRestrict(const TypeGraph &V, FunctorId Fn, const SymbolTable &Syms,
+                   const NormalizeOptions &Opts,
+                   std::vector<TypeGraph> &ArgsOut,
+                   NormalizeScratch *Scratch = nullptr);
+
+/// Builds the normalized graph denoting f(a1, ..., an) from normalized
+/// argument graphs (bottom if any argument is bottom).
+TypeGraph graphConstruct(FunctorId Fn, const std::vector<TypeGraph> &Args,
+                         const SymbolTable &Syms,
+                         const NormalizeOptions &Opts,
+                         NormalizeScratch *Scratch = nullptr);
 
 /// Deep-copies the structure reachable from \p V in \p From into \p Out,
 /// returning the id of the copy. Used by product constructions.

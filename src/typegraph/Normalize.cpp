@@ -4,10 +4,10 @@
 
 #include "support/Debug.h"
 #include "support/Hashing.h"
+#include "support/SmallVector.h"
 
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <unordered_map>
 
 using namespace gaia;
@@ -28,6 +28,12 @@ static bool isNullaryMarker(NodeId V) {
   return (V & NullaryFlag) != 0 && V != AnyMarker && V != IntMarker;
 }
 
+/// The thread-local fallback scratch for callers that do not own one.
+static NormalizeScratch &scratchOr(NormalizeScratch *S) {
+  static thread_local NormalizeScratch TLS;
+  return S ? *S : TLS;
+}
+
 /// Deterministic-automaton state produced by the subset construction.
 struct DetState {
   bool IsAny = false;
@@ -39,12 +45,15 @@ struct DetState {
 };
 
 /// Expands \p Roots through nested or-vertices into leaf/functor
-/// constituents and canonicalizes into a sorted unique key.
-static std::vector<NodeId> closureKey(const TypeGraph &G,
-                                      const std::vector<NodeId> &Roots) {
-  std::vector<NodeId> Key;
-  std::vector<NodeId> Stack(Roots.begin(), Roots.end());
-  std::vector<bool> SeenOr(G.numNodes(), false);
+/// constituents and canonicalizes into a sorted unique key, assembled in
+/// \p Scratch.KeyBuf (valid until the next closureKey call).
+static void closureKey(const TypeGraph &G, const NodeId *Roots,
+                       size_t NumRoots, NormalizeScratch &Scratch) {
+  std::vector<NodeId> &Key = Scratch.KeyBuf;
+  std::vector<NodeId> &Stack = Scratch.Stack;
+  Key.clear();
+  Stack.assign(Roots, Roots + NumRoots);
+  Scratch.beginEpoch(G.numNodes());
   bool HasAny = false, HasInt = false;
   while (!Stack.empty()) {
     NodeId V = Stack.back();
@@ -66,87 +75,138 @@ static std::vector<NodeId> closureKey(const TypeGraph &G,
       }
       break;
     case NodeKind::Or:
-      if (!SeenOr[V]) {
-        SeenOr[V] = true;
+      if (!Scratch.marked(V)) {
+        Scratch.mark(V);
         for (NodeId S : N.Succs)
           Stack.push_back(S);
       }
       break;
     }
   }
-  if (HasAny)
-    return {AnyMarker};
+  if (HasAny) {
+    Key.assign(1, AnyMarker);
+    return;
+  }
   std::sort(Key.begin(), Key.end());
   Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
   if (HasInt)
     Key.push_back(IntMarker);
-  return Key;
 }
+
+/// Transparent (vector / raw-span) hashing for the state-key map, so a
+/// lookup of the scratch key buffer does not materialize a vector.
+struct KeyView {
+  const NodeId *Data;
+  size_t Size;
+};
+struct KeyHash {
+  using is_transparent = void;
+  size_t operator()(const std::vector<NodeId> &V) const {
+    return hash(V.data(), V.size());
+  }
+  size_t operator()(const KeyView &K) const { return hash(K.Data, K.Size); }
+  static size_t hash(const NodeId *D, size_t N) {
+    std::size_t Seed = N;
+    for (size_t I = 0; I != N; ++I)
+      hashCombine(Seed, D[I]);
+    return Seed;
+  }
+};
+struct KeyEq {
+  using is_transparent = void;
+  static bool eq(const NodeId *A, size_t NA, const NodeId *B, size_t NB) {
+    return NA == NB && std::equal(A, A + NA, B);
+  }
+  bool operator()(const std::vector<NodeId> &A,
+                  const std::vector<NodeId> &B) const {
+    return eq(A.data(), A.size(), B.data(), B.size());
+  }
+  bool operator()(const KeyView &A, const std::vector<NodeId> &B) const {
+    return eq(A.Data, A.Size, B.data(), B.size());
+  }
+  bool operator()(const std::vector<NodeId> &A, const KeyView &B) const {
+    return eq(A.data(), A.size(), B.Data, B.Size);
+  }
+  bool operator()(const KeyView &A, const KeyView &B) const {
+    return eq(A.Data, A.Size, B.Data, B.Size);
+  }
+};
 
 /// Shared machinery for both subset constructions: state storage,
 /// transition computation, productivity pruning and the unfolding step.
 class DetBuilderBase {
 public:
   DetBuilderBase(const TypeGraph &G, const SymbolTable &Syms,
-                 const NormalizeOptions &Opts)
-      : G(G), Syms(Syms), Opts(Opts) {}
+                 const NormalizeOptions &Opts, NormalizeScratch &Scratch)
+      : G(G), Syms(Syms), Opts(Opts), Scratch(Scratch) {}
 
 protected:
   /// Computes the functor transitions of state \p Id from its key. Each
   /// argument state is requested through \p ArgState, which differs
-  /// between the exact and the collapsing construction.
+  /// between the exact and the collapsing construction. Re-entrant (the
+  /// collapsing construction recurses through ArgState), so the
+  /// per-invocation buffers are inline-storage locals, not scratch.
   template <typename ArgStateFn>
   void computeTransitions(uint32_t Id, ArgStateFn ArgState) {
-    std::vector<NodeId> Key = StateKeys[Id];
+    // StateKeys is a deque: growth through ArgState's state creation
+    // does not invalidate this reference.
+    const std::vector<NodeId> &Key = StateKeys[Id];
     if (!Key.empty() && Key[0] == AnyMarker) {
       States[Id].IsAny = true;
       return;
     }
     bool HasInt = !Key.empty() && Key.back() == IntMarker;
 
-    // Group functor constituents by functor id.
-    std::unordered_map<FunctorId, std::vector<NodeId>> Groups;
-    std::vector<FunctorId> Order;
+    // Functor constituents in (name, arity) order via the memoized
+    // functor ranks; a stable sort keeps same-functor members in key
+    // (ascending vertex id) order, matching the historic grouping.
+    struct FnConst {
+      FunctorId Fn;
+      NodeId V; ///< InvalidNode for nullary markers
+    };
+    SmallVector<FnConst, 8> Consts;
     for (NodeId V : Key) {
       if (V == IntMarker)
         continue;
-      FunctorId Fn =
-          isNullaryMarker(V) ? (V & ~NullaryFlag) : G.node(V).Fn;
+      FunctorId Fn = isNullaryMarker(V) ? (V & ~NullaryFlag) : G.node(V).Fn;
       if (HasInt && Syms.isIntegerLiteral(Fn))
         continue; // absorbed by Int
-      auto [It, Inserted] = Groups.emplace(Fn, std::vector<NodeId>{});
-      if (Inserted)
-        Order.push_back(Fn);
-      if (!isNullaryMarker(V))
-        It->second.push_back(V);
+      Consts.push_back({Fn, isNullaryMarker(V) ? InvalidNode : V});
     }
-    std::sort(Order.begin(), Order.end(), [&](FunctorId A, FunctorId B) {
-      const std::string &NA = Syms.functorName(A);
-      const std::string &NB = Syms.functorName(B);
-      if (NA != NB)
-        return NA < NB;
-      return Syms.functorArity(A) < Syms.functorArity(B);
-    });
+    std::stable_sort(Consts.begin(), Consts.end(),
+                     [&](const FnConst &A, const FnConst &B) {
+                       return Syms.functorRank(A.Fn) <
+                              Syms.functorRank(B.Fn);
+                     });
 
-    // Or-degree cap of Section 9.
-    uint32_t Degree = static_cast<uint32_t>(Order.size()) + (HasInt ? 1 : 0);
+    // Or-degree cap of Section 9 (count distinct functors).
+    uint32_t Degree = HasInt ? 1 : 0;
+    for (size_t I = 0; I != Consts.size(); ++I)
+      if (I == 0 || Consts[I].Fn != Consts[I - 1].Fn)
+        ++Degree;
     if (Opts.OrCap != 0 && Degree > Opts.OrCap) {
       States[Id].IsAny = true;
       return;
     }
 
     std::vector<std::pair<FunctorId, std::vector<uint32_t>>> Trans;
-    for (FunctorId Fn : Order) {
+    for (size_t I = 0; I != Consts.size();) {
+      FunctorId Fn = Consts[I].Fn;
+      size_t E = I;
+      while (E != Consts.size() && Consts[E].Fn == Fn)
+        ++E;
       uint32_t Arity = Syms.functorArity(Fn);
       std::vector<uint32_t> Args;
       Args.reserve(Arity);
       for (uint32_t J = 0; J != Arity; ++J) {
-        std::vector<NodeId> ArgRoots;
-        for (NodeId V : Groups[Fn])
-          ArgRoots.push_back(G.node(V).Succs[J]);
-        Args.push_back(ArgState(ArgRoots));
+        SmallVector<NodeId, 8> ArgRoots;
+        for (size_t K = I; K != E; ++K)
+          if (Consts[K].V != InvalidNode)
+            ArgRoots.push_back(G.node(Consts[K].V).Succs[J]);
+        Args.push_back(ArgState(ArgRoots.data(), ArgRoots.size()));
       }
       Trans.emplace_back(Fn, std::move(Args));
+      I = E;
     }
     States[Id].HasInt = HasInt;
     States[Id].Trans = std::move(Trans);
@@ -197,18 +257,23 @@ protected:
         return N; // back edge to an ancestor or-vertex
     const DetState &State = States[St];
     NodeId Or = Out.addOr({});
-    std::vector<NodeId> Children;
     if (State.IsAny || Out.numNodes() > Opts.MaxNodes ||
         (Opts.MaxDepth != 0 && Path.size() >= Opts.MaxDepth)) {
-      Children.push_back(Out.addAny());
-      Out.node(Or).Succs = std::move(Children);
+      // A defensive-bound collapse (node or depth budget) loses the
+      // certificate: re-normalizing the truncated result may merge the
+      // states the truncation made equivalent.
+      if (!State.IsAny)
+        Truncated = true;
+      NodeId Leaf = Out.addAny();
+      Out.node(Or).Succs = {Leaf};
       return Or;
     }
     Path.emplace_back(St, Or);
+    SuccList Children;
     if (State.HasInt)
       Children.push_back(Out.addInt());
     for (const auto &[Fn, Args] : State.Trans) {
-      std::vector<NodeId> ArgOrs;
+      SuccList ArgOrs;
       ArgOrs.reserve(Args.size());
       for (uint32_t A : Args)
         ArgOrs.push_back(unfold(A, Out, Path));
@@ -222,44 +287,47 @@ protected:
   /// Merges language-equivalent states (Myhill-Nerode partition
   /// refinement on the deterministic automaton). Keeps the graphs the
   /// analysis manipulates canonical and small — the paper's central
-  /// engineering concern.
+  /// engineering concern. Uses the scratch-owned hash tables: the
+  /// partition signature of a state is an integer sequence, so ordering
+  /// the blocks by a tree map (as the seed implementation did) bought
+  /// nothing but O(log n) vector comparisons per state per round.
   uint32_t minimize(uint32_t Root) {
+    auto &BlockIds = Scratch.Blocks;
+    auto &NextIds = Scratch.NextBlocks;
+    std::vector<uint64_t> &Sig = Scratch.SigBuf;
+    BlockIds.clear();
     // Initial partition: by (IsAny, HasInt, functor list).
-    std::map<std::vector<uint64_t>, uint32_t> BlockIds;
     std::vector<uint32_t> Block(States.size(), 0);
-    auto InitKey = [&](const DetState &S) {
-      std::vector<uint64_t> Key;
-      Key.push_back(S.IsAny ? 1 : 0);
-      Key.push_back(S.HasInt ? 1 : 0);
-      for (const auto &[Fn, Args] : S.Trans)
-        Key.push_back(Fn);
-      return Key;
-    };
     for (size_t I = 0; I != States.size(); ++I) {
-      auto Key = InitKey(States[I]);
+      const DetState &S = States[I];
+      Sig.clear();
+      Sig.push_back(S.IsAny ? 1 : 0);
+      Sig.push_back(S.HasInt ? 1 : 0);
+      for (const auto &[Fn, Args] : S.Trans)
+        Sig.push_back(Fn);
       auto [It, Inserted] =
-          BlockIds.emplace(Key, static_cast<uint32_t>(BlockIds.size()));
+          BlockIds.emplace(Sig, static_cast<uint32_t>(BlockIds.size()));
       Block[I] = It->second;
     }
     // Refine until stable.
+    std::vector<uint32_t> Next(States.size(), 0);
     while (true) {
-      std::map<std::vector<uint64_t>, uint32_t> NextIds;
-      std::vector<uint32_t> Next(States.size(), 0);
+      NextIds.clear();
       for (size_t I = 0; I != States.size(); ++I) {
-        std::vector<uint64_t> Key;
-        Key.push_back(Block[I]);
+        Sig.clear();
+        Sig.push_back(Block[I]);
         for (const auto &[Fn, Args] : States[I].Trans) {
-          Key.push_back(Fn);
+          Sig.push_back(Fn);
           for (uint32_t A : Args)
-            Key.push_back(Block[A]);
+            Sig.push_back(Block[A]);
         }
         auto [It, Inserted] =
-            NextIds.emplace(Key, static_cast<uint32_t>(NextIds.size()));
+            NextIds.emplace(Sig, static_cast<uint32_t>(NextIds.size()));
         Next[I] = It->second;
       }
       bool Stable = NextIds.size() == BlockIds.size();
-      Block = std::move(Next);
-      BlockIds = std::move(NextIds);
+      Block.swap(Next);
+      std::swap(BlockIds, NextIds);
       if (Stable)
         break;
     }
@@ -298,14 +366,21 @@ protected:
     assert(Result.validate(Syms, &Why) && "normalization must restore all "
                                           "restrictions");
 #endif
+    // Certify the result: a second normalization under the same options
+    // would reproduce it, unless a defensive unfold bound fired (the
+    // or-cap is applied before minimization and is idempotent).
+    if (!Truncated)
+      Result.markNormalized(Opts.OrCap, Opts.MaxNodes, Opts.MaxDepth);
     return Result;
   }
 
   const TypeGraph &G;
   const SymbolTable &Syms;
   const NormalizeOptions &Opts;
+  NormalizeScratch &Scratch;
   std::vector<DetState> States;
-  std::vector<std::vector<NodeId>> StateKeys;
+  std::deque<std::vector<NodeId>> StateKeys;
+  bool Truncated = false;
 };
 
 /// Exact subset construction (worklist based): language-preserving.
@@ -314,28 +389,14 @@ public:
   using DetBuilderBase::DetBuilderBase;
 
   TypeGraph run(const std::vector<NodeId> &Start) {
-    uint32_t Root = stateFor(Start);
-    while (!Worklist.empty()) {
-      uint32_t Id = Worklist.front();
-      Worklist.pop_front();
-      computeTransitions(
-          Id, [this](const std::vector<NodeId> &Roots) {
-            return stateFor(Roots);
-          });
-    }
+    uint32_t Root = stateFor(Start.data(), Start.size());
+    drainWorklist();
     return finish(Root);
   }
 
   GrammarAutomaton automaton(const std::vector<NodeId> &Start) {
-    uint32_t Root = stateFor(Start);
-    while (!Worklist.empty()) {
-      uint32_t Id = Worklist.front();
-      Worklist.pop_front();
-      computeTransitions(
-          Id, [this](const std::vector<NodeId> &Roots) {
-            return stateFor(Roots);
-          });
-    }
+    uint32_t Root = stateFor(Start.data(), Start.size());
+    drainWorklist();
     computeProductivity();
     GrammarAutomaton A;
     if (!States[Root].Productive) {
@@ -373,21 +434,32 @@ public:
   }
 
 private:
-  uint32_t stateFor(const std::vector<NodeId> &Roots) {
-    std::vector<NodeId> Key = closureKey(G, Roots);
-    auto It = StateIds.find(Key);
+  void drainWorklist() {
+    // Worklist ids are assigned densely, so the list is just "next state
+    // to process": every state >= Cursor still needs its transitions.
+    while (Cursor != States.size()) {
+      uint32_t Id = Cursor++;
+      computeTransitions(Id, [this](const NodeId *Roots, size_t N) {
+        return stateFor(Roots, N);
+      });
+    }
+  }
+
+  uint32_t stateFor(const NodeId *Roots, size_t NumRoots) {
+    closureKey(G, Roots, NumRoots, Scratch);
+    const std::vector<NodeId> &Key = Scratch.KeyBuf;
+    auto It = StateIds.find(KeyView{Key.data(), Key.size()});
     if (It != StateIds.end())
       return It->second;
     uint32_t Id = static_cast<uint32_t>(States.size());
     States.emplace_back();
     StateKeys.push_back(Key);
-    StateIds.emplace(std::move(Key), Id);
-    Worklist.push_back(Id);
+    StateIds.emplace(Key, Id);
     return Id;
   }
 
-  std::unordered_map<std::vector<NodeId>, uint32_t, IdVectorHash> StateIds;
-  std::deque<uint32_t> Worklist;
+  std::unordered_map<std::vector<NodeId>, uint32_t, KeyHash, KeyEq> StateIds;
+  uint32_t Cursor = 0;
 };
 
 /// The collapsing union used by the widening's replacement rule: a DFS
@@ -402,13 +474,14 @@ public:
   using DetBuilderBase::DetBuilderBase;
 
   TypeGraph run(const std::vector<NodeId> &Start) {
-    uint32_t Root = stateFor(closureKey(G, Start));
+    closureKey(G, Start.data(), Start.size(), Scratch);
+    uint32_t Root = stateFor(Scratch.KeyBuf);
     return finish(Root);
   }
 
 private:
-  uint32_t stateFor(const std::vector<NodeId> &Key) {
-    auto It = StateIds.find(Key);
+  uint32_t stateFor(const std::vector<NodeId> &KeyIn) {
+    auto It = StateIds.find(KeyIn);
     if (It != StateIds.end())
       return It->second;
     // Collapse into an ancestor whose constituents cover this state.
@@ -417,59 +490,73 @@ private:
       const std::vector<NodeId> &AncKey = StateKeys[*PIt];
       if (AncKey.size() == 1 && AncKey[0] == AnyMarker)
         return *PIt; // Any covers everything
-      if (std::includes(AncKey.begin(), AncKey.end(), Key.begin(), Key.end()))
+      if (std::includes(AncKey.begin(), AncKey.end(), KeyIn.begin(),
+                        KeyIn.end()))
         return *PIt;
     }
+    std::vector<NodeId> Key = KeyIn; // own it; the recursion below
+                                     // clobbers the scratch buffer
     uint32_t Id = static_cast<uint32_t>(States.size());
     States.emplace_back();
     StateKeys.push_back(Key);
-    StateIds.emplace(Key, Id);
+    StateIds.emplace(std::move(Key), Id);
     PathKeys.push_back(Id);
-    computeTransitions(Id, [this](const std::vector<NodeId> &Roots) {
-      return stateFor(closureKey(G, Roots));
+    computeTransitions(Id, [this](const NodeId *Roots, size_t N) {
+      closureKey(G, Roots, N, Scratch);
+      return stateFor(Scratch.KeyBuf);
     });
     PathKeys.pop_back();
     return Id;
   }
 
-  std::unordered_map<std::vector<NodeId>, uint32_t, IdVectorHash> StateIds;
+  std::unordered_map<std::vector<NodeId>, uint32_t, KeyHash, KeyEq> StateIds;
   std::vector<uint32_t> PathKeys;
 };
 
 } // namespace
 
 TypeGraph gaia::normalizeGraph(const TypeGraph &G, const SymbolTable &Syms,
-                               const NormalizeOptions &Opts) {
+                               const NormalizeOptions &Opts,
+                               NormalizeScratch *Scratch) {
   if (G.root() == InvalidNode)
     return TypeGraph::makeBottom();
-  return Determinizer(G, Syms, Opts).run({G.root()});
+  // A certified graph is a fixed point of this pipeline for these
+  // options: copying it (certificate and interner caches included) is
+  // exactly what the full construction would rebuild.
+  if (G.isNormalizedFor(Opts.OrCap, Opts.MaxNodes, Opts.MaxDepth))
+    return G;
+  return Determinizer(G, Syms, Opts, scratchOr(Scratch)).run({G.root()});
 }
 
 TypeGraph gaia::normalizeFrom(const TypeGraph &G,
                               const std::vector<NodeId> &Start,
                               const SymbolTable &Syms,
-                              const NormalizeOptions &Opts) {
+                              const NormalizeOptions &Opts,
+                              NormalizeScratch *Scratch) {
   if (Start.empty())
     return TypeGraph::makeBottom();
-  return Determinizer(G, Syms, Opts).run(Start);
+  return Determinizer(G, Syms, Opts, scratchOr(Scratch)).run(Start);
 }
 
 TypeGraph gaia::collapsingUnionFrom(const TypeGraph &G,
                                     const std::vector<NodeId> &Start,
                                     const SymbolTable &Syms,
-                                    const NormalizeOptions &Opts) {
+                                    const NormalizeOptions &Opts,
+                                    NormalizeScratch *Scratch) {
   if (Start.empty())
     return TypeGraph::makeBottom();
-  return Collapser(G, Syms, Opts).run(Start);
+  return Collapser(G, Syms, Opts, scratchOr(Scratch)).run(Start);
 }
 
 GrammarAutomaton gaia::buildAutomaton(const TypeGraph &G,
-                                      const SymbolTable &Syms) {
+                                      const SymbolTable &Syms,
+                                      NormalizeScratch *Scratch) {
   if (G.root() == InvalidNode || G.isBottomGraph()) {
     GrammarAutomaton A;
     A.Empty = true;
     return A;
   }
   NormalizeOptions Opts;
-  return Determinizer(G, Syms, Opts).automaton({G.root()});
+  return Determinizer(G, Syms, Opts, scratchOr(Scratch))
+      .automaton({G.root()});
 }

@@ -16,12 +16,22 @@
 /// to replace an or-vertex with too many successors by an any-vertex")
 /// is applied during determinization.
 ///
+/// The pipeline is engineered to be allocation-light: the entry points
+/// accept a caller-owned NormalizeScratch whose buffers (epoch-marked
+/// visited sets, closure stacks, the partition-refinement tables of the
+/// minimizer) are reused across calls instead of reallocated, and
+/// results carry a normalization certificate (TypeGraph::markNormalized)
+/// so re-normalizing an already-canonical graph is a copy.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GAIA_TYPEGRAPH_NORMALIZE_H
 #define GAIA_TYPEGRAPH_NORMALIZE_H
 
+#include "support/Hashing.h"
 #include "typegraph/TypeGraph.h"
+
+#include <unordered_map>
 
 namespace gaia {
 
@@ -41,10 +51,48 @@ struct NormalizeOptions {
   uint32_t MaxDepth = 0;
 };
 
+/// Reusable buffers for the normalization pipeline and the graph
+/// operations built on it. One instance per analysis (owned by the
+/// operation cache / leaf context); passing nullptr to the entry points
+/// falls back to a thread-local instance, so ad-hoc callers (tests,
+/// examples) stay allocation-correct without owning one. Not re-entrant
+/// across threads; the epoch discipline makes it re-entrant across
+/// sequential uses within one normalization (each traversal opens a
+/// fresh epoch).
+class NormalizeScratch {
+public:
+  /// Opens a new visited-epoch over \p NumNodes node ids and returns the
+  /// epoch tag; `mark`/`marked` then cost one array access each.
+  uint64_t beginEpoch(uint32_t NumNodes) {
+    if (SeenMark.size() < NumNodes)
+      SeenMark.resize(NumNodes, 0);
+    return ++Epoch;
+  }
+  bool marked(NodeId V) const { return SeenMark[V] == Epoch; }
+  void mark(NodeId V) { SeenMark[V] = Epoch; }
+
+  /// DFS stack shared by the non-reentrant leaf traversals (or-closure
+  /// expansion, constituent scans, subgraph copies).
+  std::vector<NodeId> Stack;
+  /// Closure-key assembly buffer (closureKey output before dedup-copy).
+  std::vector<NodeId> KeyBuf;
+  /// Minimizer: signature buffer and the two partition tables, reused so
+  /// the bucket arrays survive across calls.
+  std::vector<uint64_t> SigBuf;
+  std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash> Blocks;
+  std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash> NextBlocks;
+
+private:
+  std::vector<uint64_t> SeenMark;
+  uint64_t Epoch = 0;
+};
+
 /// Returns an equivalent (or minimally over-approximated, if a cap fires)
-/// graph satisfying all restrictions, rooted at \p G's root.
+/// graph satisfying all restrictions, rooted at \p G's root. If \p G
+/// carries a normalization certificate for \p Opts the call is a copy.
 TypeGraph normalizeGraph(const TypeGraph &G, const SymbolTable &Syms,
-                         const NormalizeOptions &Opts = {});
+                         const NormalizeOptions &Opts = {},
+                         NormalizeScratch *Scratch = nullptr);
 
 /// Normalizes the union of the denotations of \p Start inside \p G into a
 /// fresh self-contained graph. This is the workhorse behind subgraph
@@ -52,7 +100,8 @@ TypeGraph normalizeGraph(const TypeGraph &G, const SymbolTable &Syms,
 /// widening operator.
 TypeGraph normalizeFrom(const TypeGraph &G, const std::vector<NodeId> &Start,
                         const SymbolTable &Syms,
-                        const NormalizeOptions &Opts = {});
+                        const NormalizeOptions &Opts = {},
+                        NormalizeScratch *Scratch = nullptr);
 
 /// The minimal deterministic automaton equivalent to a graph. Unlike the
 /// graph itself (bound by No-Sharing), automaton states are shared, so
@@ -70,7 +119,8 @@ struct GrammarAutomaton {
 };
 
 /// Determinizes, prunes and minimizes \p G into its canonical automaton.
-GrammarAutomaton buildAutomaton(const TypeGraph &G, const SymbolTable &Syms);
+GrammarAutomaton buildAutomaton(const TypeGraph &G, const SymbolTable &Syms,
+                                NormalizeScratch *Scratch = nullptr);
 
 /// The "variant of the union operation which avoids creating or-vertices
 /// which would lead to a growth in size" (Section 7.2.2), used by the
@@ -82,7 +132,8 @@ GrammarAutomaton buildAutomaton(const TypeGraph &G, const SymbolTable &Syms);
 TypeGraph collapsingUnionFrom(const TypeGraph &G,
                               const std::vector<NodeId> &Start,
                               const SymbolTable &Syms,
-                              const NormalizeOptions &Opts = {});
+                              const NormalizeOptions &Opts = {},
+                              NormalizeScratch *Scratch = nullptr);
 
 } // namespace gaia
 

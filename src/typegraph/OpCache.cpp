@@ -35,8 +35,9 @@ TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
     return Interned.graph(It->second);
   }
   ++St.Misses;
-  CanonId R = Interned.intern(
-      graphUnion(Interned.graph(IA), Interned.graph(IB), Syms, Norm));
+  CanonId R = Interned.intern(graphUnion(Interned.graph(IA),
+                                         Interned.graph(IB), Syms, Norm,
+                                         &Scratch));
   Union.emplace(Key, R);
   return Interned.graph(R);
 }
@@ -51,8 +52,9 @@ TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
     return Interned.graph(It->second);
   }
   ++St.Misses;
-  CanonId R = Interned.intern(
-      graphIntersect(Interned.graph(IA), Interned.graph(IB), Syms, Norm));
+  CanonId R = Interned.intern(graphIntersect(Interned.graph(IA),
+                                             Interned.graph(IB), Syms, Norm,
+                                             &Scratch));
   Inter.emplace(Key, R);
   return Interned.graph(R);
 }
@@ -73,7 +75,54 @@ TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
   ++St.Misses;
   CanonId R = Interned.intern(graphWiden(Interned.graph(IO),
                                          Interned.graph(IN), Syms, Opts,
-                                         WStats));
+                                         WStats, &Scratch));
   Widen.emplace(Key, R);
+  return Interned.graph(R);
+}
+
+bool OpCache::restrictOf(const TypeGraph &V, FunctorId Fn,
+                         std::vector<TypeGraph> &ArgsOut) {
+  CanonId Id = Interned.intern(V);
+  auto Key = std::make_pair(Id, static_cast<uint32_t>(Fn));
+  auto It = Restrict.find(Key);
+  if (It != Restrict.end()) {
+    ++St.Hits;
+    ArgsOut.clear();
+    for (CanonId A : It->second.Args)
+      ArgsOut.push_back(Interned.graph(A));
+    return It->second.Ok;
+  }
+  ++St.Misses;
+  RestrictResult R;
+  R.Ok = graphRestrict(Interned.graph(Id), Fn, Syms, Norm, ArgsOut,
+                       &Scratch);
+  for (const TypeGraph &A : ArgsOut)
+    R.Args.push_back(Interned.intern(A));
+  // Hand back the canonical representatives: they carry their interner
+  // caches, so downstream operations on these values intern in O(1).
+  ArgsOut.clear();
+  for (CanonId A : R.Args)
+    ArgsOut.push_back(Interned.graph(A));
+  bool Ok = R.Ok;
+  Restrict.emplace(Key, std::move(R));
+  return Ok;
+}
+
+TypeGraph OpCache::constructOf(FunctorId Fn,
+                               const std::vector<TypeGraph> &Args) {
+  std::vector<uint32_t> Key;
+  Key.reserve(Args.size() + 1);
+  Key.push_back(Fn);
+  for (const TypeGraph &A : Args)
+    Key.push_back(Interned.intern(A));
+  auto It = Construct.find(Key);
+  if (It != Construct.end()) {
+    ++St.Hits;
+    return Interned.graph(It->second);
+  }
+  ++St.Misses;
+  CanonId R =
+      Interned.intern(graphConstruct(Fn, Args, Syms, Norm, &Scratch));
+  Construct.emplace(std::move(Key), R);
   return Interned.graph(R);
 }

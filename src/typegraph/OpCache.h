@@ -2,9 +2,12 @@
 ///
 /// \file
 /// Memoization layer over the Section 6.9 operations (union,
-/// intersection, inclusion) and the Section 7 widening. Operands are
-/// hash-consed through a GraphInterner, so cache keys are canonical-id
-/// pairs and semantic equality (`equals`) is an O(1) id comparison.
+/// intersection, inclusion), the Section 7 widening, and the two
+/// leaf-domain unification primitives (principal-functor restriction and
+/// construction — by call count the hottest graph operations of the
+/// analysis). Operands are hash-consed through a GraphInterner, so cache
+/// keys are canonical-id tuples and semantic equality (`equals`) is an
+/// O(1) id comparison.
 ///
 /// The cache is exact: graph operations are pure functions of the
 /// operand *languages* (all inputs are normalized, and normalization is
@@ -57,6 +60,12 @@ public:
   /// a CacheHits tick instead of the full rule counters on a hit.
   TypeGraph widenOf(const TypeGraph &Old, const TypeGraph &New,
                     const WideningOptions &Opts, WideningStats *WStats);
+  /// Cached graphRestrict: restricts \p V to principal functor \p Fn,
+  /// filling \p ArgsOut with one normalized graph per argument.
+  bool restrictOf(const TypeGraph &V, FunctorId Fn,
+                  std::vector<TypeGraph> &ArgsOut);
+  /// Cached graphConstruct: the normalized graph denoting f(a1,...,an).
+  TypeGraph constructOf(FunctorId Fn, const std::vector<TypeGraph> &Args);
 
   /// Semantic equality as a canonical-id comparison.
   bool equals(const TypeGraph &A, const TypeGraph &B) {
@@ -74,10 +83,22 @@ private:
   GraphInterner Interned;
   const SymbolTable &Syms;
   NormalizeOptions Norm;
+  /// Scratch buffers handed to every underlying graph operation, so the
+  /// whole analysis shares one set of normalization work arrays.
+  NormalizeScratch Scratch;
   std::unordered_map<std::pair<CanonId, CanonId>, uint8_t, PairHash> Incl;
   std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Union;
   std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Inter;
   std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Widen;
+  /// (value id, functor) -> restriction outcome.
+  struct RestrictResult {
+    bool Ok = false;
+    SmallVector<CanonId, 4> Args;
+  };
+  std::unordered_map<std::pair<CanonId, uint32_t>, RestrictResult, PairHash>
+      Restrict;
+  /// [functor, arg ids...] -> constructed graph id.
+  std::unordered_map<std::vector<uint32_t>, CanonId, IdVectorHash> Construct;
   OpCacheStats St;
 };
 

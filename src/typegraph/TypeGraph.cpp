@@ -5,27 +5,30 @@
 #include "support/Debug.h"
 
 #include <algorithm>
-#include <deque>
 #include <set>
 
 using namespace gaia;
 
 NodeId TypeGraph::addAny() {
+  invalidateDerived();
   Nodes.push_back(TGNode{NodeKind::Any, InvalidFunctor, {}});
   return static_cast<NodeId>(Nodes.size() - 1);
 }
 
 NodeId TypeGraph::addInt() {
+  invalidateDerived();
   Nodes.push_back(TGNode{NodeKind::Int, InvalidFunctor, {}});
   return static_cast<NodeId>(Nodes.size() - 1);
 }
 
-NodeId TypeGraph::addFunc(FunctorId Fn, std::vector<NodeId> Args) {
+NodeId TypeGraph::addFunc(FunctorId Fn, SuccList Args) {
+  invalidateDerived();
   Nodes.push_back(TGNode{NodeKind::Func, Fn, std::move(Args)});
   return static_cast<NodeId>(Nodes.size() - 1);
 }
 
-NodeId TypeGraph::addOr(std::vector<NodeId> Alts) {
+NodeId TypeGraph::addOr(SuccList Alts) {
+  invalidateDerived();
   Nodes.push_back(TGNode{NodeKind::Or, InvalidFunctor, std::move(Alts)});
   return static_cast<NodeId>(Nodes.size() - 1);
 }
@@ -33,6 +36,7 @@ NodeId TypeGraph::addOr(std::vector<NodeId> Alts) {
 TypeGraph TypeGraph::makeBottom() {
   TypeGraph G;
   G.setRoot(G.addOr({}));
+  G.markNormalized(0, 0, 0, NormScope::OptionIndependent);
   return G;
 }
 
@@ -40,6 +44,7 @@ TypeGraph TypeGraph::makeAny() {
   TypeGraph G;
   NodeId Leaf = G.addAny();
   G.setRoot(G.addOr({Leaf}));
+  G.markNormalized(0, 0, 0, NormScope::OptionIndependent);
   return G;
 }
 
@@ -47,13 +52,14 @@ TypeGraph TypeGraph::makeInt() {
   TypeGraph G;
   NodeId Leaf = G.addInt();
   G.setRoot(G.addOr({Leaf}));
+  G.markNormalized(0, 0, 0, NormScope::OptionIndependent);
   return G;
 }
 
 TypeGraph TypeGraph::makeFunctorOfAny(const SymbolTable &Syms, FunctorId Fn) {
   TypeGraph G;
   uint32_t Arity = Syms.functorArity(Fn);
-  std::vector<NodeId> Args;
+  SuccList Args;
   Args.reserve(Arity);
   for (uint32_t I = 0; I != Arity; ++I) {
     NodeId Leaf = G.addAny();
@@ -61,6 +67,9 @@ TypeGraph TypeGraph::makeFunctorOfAny(const SymbolTable &Syms, FunctorId Fn) {
   }
   NodeId F = G.addFunc(Fn, std::move(Args));
   G.setRoot(G.addOr({F}));
+  // Every or-vertex has degree 1 and every deeper or-vertex is Any, so
+  // normalization under any or-cap / depth bound reproduces this graph.
+  G.markNormalized(0, 0, 0, NormScope::OptionIndependent);
   return G;
 }
 
@@ -76,6 +85,8 @@ TypeGraph TypeGraph::makeAnyList(SymbolTable &Syms) {
   G.node(Root).Succs = {Nil, Cons};
   G.setRoot(Root);
   G.sortOrSuccessors(Syms);
+  // The root has or-degree 2, so this shape only survives caps >= 2 (or
+  // uncapped); it is not certified option-independent.
   return G;
 }
 
@@ -85,19 +96,19 @@ TypeGraph::Topology TypeGraph::computeTopology() const {
   T.Parent.assign(Nodes.size(), InvalidNode);
   if (RootId == InvalidNode)
     return T;
-  std::deque<NodeId> Queue;
-  Queue.push_back(RootId);
+  // BfsOrder doubles as the BFS queue: nodes are appended once and
+  // scanned once, avoiding a separate deque allocation.
+  T.BfsOrder.reserve(Nodes.size());
+  T.BfsOrder.push_back(RootId);
   T.Depth[RootId] = 1;
-  while (!Queue.empty()) {
-    NodeId V = Queue.front();
-    Queue.pop_front();
-    T.BfsOrder.push_back(V);
+  for (size_t Head = 0; Head != T.BfsOrder.size(); ++Head) {
+    NodeId V = T.BfsOrder[Head];
     for (NodeId S : Nodes[V].Succs) {
       if (T.Depth[S] != 0)
         continue;
       T.Depth[S] = T.Depth[V] + 1;
       T.Parent[S] = V;
-      Queue.push_back(S);
+      T.BfsOrder.push_back(S);
     }
   }
   return T;
@@ -156,17 +167,24 @@ bool SuccOrder::operator()(const std::pair<NodeKind, FunctorId> &A,
 }
 
 void TypeGraph::sortOrSuccessors(const SymbolTable &Syms) {
-  SuccOrder Order{Syms};
+  // Integer sort keys: 0 for Any (always first), 1 + functor rank
+  // otherwise, with Int mapping to the reserved '$int'/0 functor. The
+  // rank order is exactly the (name, arity) order SuccOrder defines, so
+  // the result is identical to sorting with string comparisons.
+  auto KeyOf = [&](NodeId Id) -> uint64_t {
+    const TGNode &N = Nodes[Id];
+    if (N.Kind == NodeKind::Any)
+      return 0;
+    FunctorId Fn = N.Kind == NodeKind::Int ? Syms.intFunctor() : N.Fn;
+    return 1 + static_cast<uint64_t>(Syms.functorRank(Fn));
+  };
   for (TGNode &N : Nodes) {
-    if (N.Kind != NodeKind::Or)
+    if (N.Kind != NodeKind::Or || N.Succs.size() < 2)
       continue;
     std::stable_sort(N.Succs.begin(), N.Succs.end(),
-                     [&](NodeId A, NodeId B) {
-                       const TGNode &NA = node(A);
-                       const TGNode &NB = node(B);
-                       return Order({NA.Kind, NA.Fn}, {NB.Kind, NB.Fn});
-                     });
+                     [&](NodeId A, NodeId B) { return KeyOf(A) < KeyOf(B); });
   }
+  invalidateDerived();
 }
 
 TypeGraph TypeGraph::compact() const {
@@ -193,7 +211,7 @@ TypeGraph TypeGraph::compact() const {
     }
   }
   for (NodeId V : T.BfsOrder) {
-    std::vector<NodeId> NewSuccs;
+    SuccList NewSuccs;
     NewSuccs.reserve(Nodes[V].Succs.size());
     for (NodeId S : Nodes[V].Succs) {
       assert(Remap[S] != InvalidNode && "successor of reachable node "

@@ -21,12 +21,26 @@
 /// Graphs are value types: nodes live in a vector and refer to each other
 /// by dense 32-bit ids, so copying is a vector copy and no manual memory
 /// management is needed (the awkward part of the original C system).
+/// Successor lists use inline small-buffer storage (or- and functor-arity
+/// is almost always <= 2 on the Section 9 programs), so copying a graph
+/// performs one allocation for the node vector instead of one per vertex.
+///
+/// A graph additionally carries *derived-result caches* that mutation
+/// invalidates and copies preserve:
+///   - a normalization certificate (`isNormalizedFor`) recording the
+///     NormalizeOptions the graph is known to satisfy, letting
+///     re-normalization of an already-canonical graph short-circuit;
+///   - the BFS-structural signature (`support/GraphInterner.h`), so
+///     hash-consing the same value repeatedly does not re-walk the graph;
+///   - the interner's (epoch, canonical id) pair, making repeat interning
+///     of a cached value O(1).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GAIA_TYPEGRAPH_TYPEGRAPH_H
 #define GAIA_TYPEGRAPH_TYPEGRAPH_H
 
+#include "support/SmallVector.h"
 #include "support/StringInterner.h"
 
 #include <cassert>
@@ -40,6 +54,10 @@ namespace gaia {
 using NodeId = uint32_t;
 constexpr NodeId InvalidNode = ~0u;
 
+/// Successor list of a vertex: inline up to 2 entries (the dominant or-
+/// degree and functor arity), heap beyond.
+using SuccList = SmallVector<NodeId, 2>;
+
 /// Vertex kinds. `Any` and `Int` are leaves; `Func` carries a functor and
 /// has one successor per argument; `Or` is a disjunction.
 enum class NodeKind : uint8_t { Any, Int, Func, Or };
@@ -52,7 +70,7 @@ struct TGNode {
   /// Ordered successors. Empty for Any/Int. For Func: one per argument.
   /// For Or: the alternatives (sorted by functor name; see
   /// TypeGraph::sortOrSuccessors).
-  std::vector<NodeId> Succs;
+  SuccList Succs;
 };
 
 /// A rooted type graph. See file comment.
@@ -65,19 +83,25 @@ public:
   /// Adds an int-vertex and returns its id.
   NodeId addInt();
   /// Adds a functor-vertex \p Fn with argument or-vertices \p Args.
-  NodeId addFunc(FunctorId Fn, std::vector<NodeId> Args);
+  NodeId addFunc(FunctorId Fn, SuccList Args);
   /// Adds an or-vertex with alternatives \p Alts.
-  NodeId addOr(std::vector<NodeId> Alts);
+  NodeId addOr(SuccList Alts);
 
-  void setRoot(NodeId Root) { RootId = Root; }
+  void setRoot(NodeId Root) {
+    invalidateDerived();
+    RootId = Root;
+  }
   NodeId root() const { return RootId; }
 
   const TGNode &node(NodeId Id) const {
     assert(Id < Nodes.size() && "node id out of range");
     return Nodes[Id];
   }
+  /// Mutable vertex access. Conservatively drops the derived-result
+  /// caches: callers that take a mutable reference are editing structure.
   TGNode &node(NodeId Id) {
     assert(Id < Nodes.size() && "node id out of range");
+    invalidateDerived();
     return Nodes[Id];
   }
 
@@ -122,7 +146,9 @@ public:
 
   /// Sorts the successors of every or-vertex by (functor name, arity),
   /// with any-vertices first and int-vertices via their '$int' name. The
-  /// paper assumes this order for the correspondence relation.
+  /// paper assumes this order for the correspondence relation. Uses the
+  /// symbol table's memoized functor ranks, so a comparison is two
+  /// integer loads instead of a string compare.
   void sortOrSuccessors(const SymbolTable &Syms);
 
   /// Returns a copy containing only the nodes reachable from the root,
@@ -137,9 +163,75 @@ public:
   /// if \p Why is non-null, stores a diagnostic.
   bool validate(const SymbolTable &Syms, std::string *Why = nullptr) const;
 
+  //===--------------------------------------------------------------------//
+  // Derived-result caches. All are invalidated by any mutation and
+  // preserved by copies/moves, so a canonical graph handed out by the
+  // interner keeps its certificate and ids through the value plumbing.
+  //===--------------------------------------------------------------------//
+
+  /// Records that this graph is an output of normalization under the
+  /// given option values (or one of the canonical constructors, which
+  /// are normalized under *any* options — pass OptionIndependent).
+  enum class NormScope : uint8_t { ForOptions, OptionIndependent };
+  void markNormalized(uint32_t OrCap, uint32_t MaxNodes, uint32_t MaxDepth,
+                      NormScope Scope = NormScope::ForOptions) {
+    NormValid = true;
+    NormUniversal = Scope == NormScope::OptionIndependent;
+    NormOrCap = OrCap;
+    NormMaxNodes = MaxNodes;
+    NormMaxDepth = MaxDepth;
+  }
+  /// True if the graph is certified canonical for these option values,
+  /// i.e. normalizeGraph with them would reproduce it structurally.
+  bool isNormalizedFor(uint32_t OrCap, uint32_t MaxNodes,
+                       uint32_t MaxDepth) const {
+    return NormValid &&
+           (NormUniversal || (NormOrCap == OrCap && NormMaxNodes == MaxNodes &&
+                              NormMaxDepth == MaxDepth));
+  }
+
+  /// Cached BFS-structural signature (see support/GraphInterner.h). The
+  /// mutators clear it; structuralHash fills it on first use.
+  bool structSigValid() const { return SigValid; }
+  uint64_t structSig() const { return Sig; }
+  void setStructSig(uint64_t S) const {
+    Sig = S;
+    SigValid = true;
+  }
+
+  /// Cached (interner epoch, canonical id): a graph that has been
+  /// interned remembers its id, so re-interning the same value — the
+  /// single hottest operation of the cached analysis — is a tag compare.
+  uint64_t internEpoch() const { return InternEpoch; }
+  uint32_t internId() const { return InternId; }
+  void setInternCache(uint64_t Epoch, uint32_t Id) const {
+    InternEpoch = Epoch;
+    InternId = Id;
+  }
+
 private:
+  void invalidateDerived() {
+    NormValid = false;
+    SigValid = false;
+    InternEpoch = 0;
+  }
+
   std::vector<TGNode> Nodes;
   NodeId RootId = InvalidNode;
+
+  /// Normalization certificate.
+  bool NormValid = false;
+  bool NormUniversal = false;
+  uint32_t NormOrCap = 0;
+  uint32_t NormMaxNodes = 0;
+  uint32_t NormMaxDepth = 0;
+
+  /// Structural signature and interner caches (mutable: filled through
+  /// const lookups).
+  mutable bool SigValid = false;
+  mutable uint64_t Sig = 0;
+  mutable uint64_t InternEpoch = 0;
+  mutable uint32_t InternId = 0;
 };
 
 /// Key used when comparing or-successors and pf-sets: orders functors by

@@ -127,7 +127,8 @@ static TypeGraph graftReplaceImpl(const TypeGraph &G, NodeId Va,
 static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
                               const SymbolTable &Syms,
                               const WideningOptions &Opts,
-                              WideningStats *Stats) {
+                              WideningStats *Stats,
+                              NormalizeScratch *Scratch) {
   TypeGraph::Topology TopoO = Go.computeTopology();
   TypeGraph::Topology TopoN = Gn.computeTopology();
   std::vector<Clash> Clashes = wideningClashes(Go, TopoO, Gn, TopoN, Syms);
@@ -199,7 +200,8 @@ static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
       // collapsing union (the paper's growth-avoiding union variant);
       // fall back to Any. Either must strictly decrease the size of the
       // graph (Figure 7).
-      TypeGraph Rep = collapsingUnionFrom(Gn, {Va, C.Vn}, Syms, Opts.Norm);
+      TypeGraph Rep =
+          collapsingUnionFrom(Gn, {Va, C.Vn}, Syms, Opts.Norm, Scratch);
       TypeGraph Candidate = graftReplaceImpl(Gn, Va, Rep, TopoN);
       if (Candidate.sizeMetric() < OldSize) {
         Gn = std::move(Candidate);
@@ -226,7 +228,7 @@ static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
 TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
                            const SymbolTable &Syms,
                            const WideningOptions &Opts,
-                           WideningStats *Stats) {
+                           WideningStats *Stats, NormalizeScratch *Scratch) {
   if (Stats)
     ++Stats->Invocations;
   if (graphIncludes(Gold, Gnew, Syms))
@@ -236,15 +238,15 @@ TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
     // is what the paper's widening is measured against.
     NormalizeOptions Truncate = Opts.Norm;
     Truncate.MaxDepth = Opts.DepthK;
-    TypeGraph U = graphUnion(Gold, Gnew, Syms, Opts.Norm);
-    return normalizeGraph(U, Syms, Truncate);
+    TypeGraph U = graphUnion(Gold, Gnew, Syms, Opts.Norm, Scratch);
+    return normalizeGraph(U, Syms, Truncate, Scratch);
   }
   if (Gold.isBottomGraph())
-    return normalizeGraph(Gnew, Syms, Opts.Norm);
-  TypeGraph Gn = graphUnion(Gold, Gnew, Syms, Opts.Norm);
+    return normalizeGraph(Gnew, Syms, Opts.Norm, Scratch);
+  TypeGraph Gn = graphUnion(Gold, Gnew, Syms, Opts.Norm, Scratch);
 
   uint32_t Transforms = 0;
-  while (applyOneTransform(Gold, Gn, Syms, Opts, Stats)) {
+  while (applyOneTransform(Gold, Gn, Syms, Opts, Stats, Scratch)) {
     ++Transforms;
     if (Transforms > Opts.MaxTransforms) {
       // Defensive budget exhausted. The paper proves the transformation
@@ -263,7 +265,7 @@ TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
   // language-equivalent; re-normalize (exactly language-preserving) so
   // results stay minimal and canonical.
   if (Transforms != 0)
-    Gn = normalizeGraph(Gn, Syms, Opts.Norm);
+    Gn = normalizeGraph(Gn, Syms, Opts.Norm, Scratch);
 #ifndef NDEBUG
   assert(graphIncludes(Gn, Gold, Syms) && "widening must include old graph");
   assert(graphIncludes(Gn, Gnew, Syms) && "widening must include new graph");

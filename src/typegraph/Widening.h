@@ -83,7 +83,8 @@ struct WideningStats {
 TypeGraph graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
                      const SymbolTable &Syms,
                      const WideningOptions &Opts = {},
-                     WideningStats *Stats = nullptr);
+                     WideningStats *Stats = nullptr,
+                     NormalizeScratch *Scratch = nullptr);
 
 namespace detail {
 

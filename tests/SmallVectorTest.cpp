@@ -1,0 +1,187 @@
+//===- tests/SmallVectorTest.cpp - Inline small-buffer vector tests -------==//
+///
+/// \file
+/// Property coverage for support/SmallVector.h, the inline successor
+/// storage of TGNode: the interesting transitions are inline -> spilled
+/// growth, copies and moves in all four (inline/spilled) combinations,
+/// and self-assignment, which a buffer-stealing implementation can
+/// easily corrupt.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/SmallVector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+using namespace gaia;
+
+namespace {
+
+using Vec = SmallVector<uint32_t, 2>;
+
+std::vector<uint32_t> contents(const Vec &V) {
+  return std::vector<uint32_t>(V.begin(), V.end());
+}
+
+TEST(SmallVectorTest, StartsInlineAndSpillsPastCapacity) {
+  Vec V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_TRUE(V.isInline());
+  V.push_back(1);
+  V.push_back(2);
+  EXPECT_TRUE(V.isInline());
+  EXPECT_EQ(V.size(), 2u);
+  V.push_back(3); // spill
+  EXPECT_FALSE(V.isInline());
+  EXPECT_EQ(contents(V), (std::vector<uint32_t>{1, 2, 3}));
+  // Data survives further growth.
+  for (uint32_t I = 4; I <= 100; ++I)
+    V.push_back(I);
+  std::vector<uint32_t> Expect(100);
+  std::iota(Expect.begin(), Expect.end(), 1);
+  EXPECT_EQ(contents(V), Expect);
+}
+
+TEST(SmallVectorTest, CopyInAllStorageCombinations) {
+  Vec Inline{1, 2};
+  Vec Spilled{1, 2, 3, 4};
+  ASSERT_TRUE(Inline.isInline());
+  ASSERT_FALSE(Spilled.isInline());
+
+  Vec A = Inline; // inline -> fresh
+  EXPECT_EQ(contents(A), contents(Inline));
+  Vec B = Spilled; // spilled -> fresh: deep copy
+  EXPECT_EQ(contents(B), contents(Spilled));
+  B[0] = 99;
+  EXPECT_EQ(Spilled[0], 1u) << "copy must not alias";
+
+  A = Spilled; // inline <- spilled
+  EXPECT_EQ(contents(A), contents(Spilled));
+  Vec C{7, 8, 9};
+  C = Inline; // spilled <- inline
+  EXPECT_EQ(contents(C), contents(Inline));
+}
+
+TEST(SmallVectorTest, MoveStealsHeapAndCopiesInline) {
+  Vec Spilled{1, 2, 3, 4};
+  const uint32_t *Data = Spilled.data();
+  Vec Stolen = std::move(Spilled);
+  EXPECT_EQ(Stolen.data(), Data) << "heap block should be stolen, not copied";
+  EXPECT_EQ(contents(Stolen), (std::vector<uint32_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(Spilled.empty());
+  EXPECT_TRUE(Spilled.isInline()) << "moved-from must be reusable";
+  Spilled.push_back(5);
+  EXPECT_EQ(contents(Spilled), (std::vector<uint32_t>{5}));
+
+  Vec Inline{1, 2};
+  Vec Moved = std::move(Inline);
+  EXPECT_TRUE(Moved.isInline());
+  EXPECT_EQ(contents(Moved), (std::vector<uint32_t>{1, 2}));
+
+  // Move-assign over a spilled target frees without leaking (ASan-level
+  // property; here we just check the value outcome).
+  Vec Target{9, 9, 9, 9};
+  Vec Src{1, 2, 3};
+  Target = std::move(Src);
+  EXPECT_EQ(contents(Target), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(SmallVectorTest, SelfAssignmentIsANoOp) {
+  Vec Inline{1, 2};
+  Vec &AliasI = Inline;
+  Inline = AliasI;
+  EXPECT_EQ(contents(Inline), (std::vector<uint32_t>{1, 2}));
+
+  Vec Spilled{1, 2, 3, 4, 5};
+  Vec &AliasS = Spilled;
+  Spilled = AliasS;
+  EXPECT_EQ(contents(Spilled), (std::vector<uint32_t>{1, 2, 3, 4, 5}));
+
+  Spilled = std::move(AliasS); // self-move must not destroy the value
+  EXPECT_EQ(contents(Spilled), (std::vector<uint32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(SmallVectorTest, VectorAndInitializerInterop) {
+  std::vector<uint32_t> Big(10);
+  std::iota(Big.begin(), Big.end(), 0);
+  Vec V = Big; // converting constructor
+  EXPECT_EQ(contents(V), Big);
+  V = {3, 1}; // initializer-list assignment shrinks back
+  EXPECT_EQ(contents(V), (std::vector<uint32_t>{3, 1}));
+  std::vector<uint32_t> Small{4, 5, 6};
+  V = Small;
+  EXPECT_EQ(contents(V), Small);
+}
+
+TEST(SmallVectorTest, EraseResizeClear) {
+  Vec V{1, 2, 3, 4, 5};
+  V.erase(V.begin() + 1); // {1,3,4,5}
+  EXPECT_EQ(contents(V), (std::vector<uint32_t>{1, 3, 4, 5}));
+  V.erase(V.begin() + 1, V.begin() + 3); // {1,5}
+  EXPECT_EQ(contents(V), (std::vector<uint32_t>{1, 5}));
+  V.resize(4, 7);
+  EXPECT_EQ(contents(V), (std::vector<uint32_t>{1, 5, 7, 7}));
+  V.resize(1);
+  EXPECT_EQ(contents(V), (std::vector<uint32_t>{1}));
+  V.clear();
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(SmallVectorTest, EqualityComparesValuesNotStorage) {
+  Vec A{1, 2};
+  Vec B{1, 2, 3};
+  B.pop_back(); // same values, B spilled
+  EXPECT_FALSE(B.isInline());
+  EXPECT_TRUE(A.isInline());
+  EXPECT_EQ(A, B);
+  B.push_back(9);
+  EXPECT_NE(A, B);
+}
+
+/// Randomized differential test against std::vector: the same operation
+/// stream applied to both must agree at every step.
+TEST(SmallVectorTest, DifferentialAgainstStdVector) {
+  std::mt19937 Rng(1507);
+  for (int Round = 0; Round != 50; ++Round) {
+    Vec V;
+    std::vector<uint32_t> Ref;
+    for (int Step = 0; Step != 200; ++Step) {
+      switch (Rng() % 6) {
+      case 0:
+      case 1:
+      case 2: {
+        uint32_t X = Rng() % 1000;
+        V.push_back(X);
+        Ref.push_back(X);
+        break;
+      }
+      case 3:
+        if (!Ref.empty()) {
+          V.pop_back();
+          Ref.pop_back();
+        }
+        break;
+      case 4:
+        if (!Ref.empty()) {
+          size_t I = Rng() % Ref.size();
+          V.erase(V.begin() + I);
+          Ref.erase(Ref.begin() + I);
+        }
+        break;
+      case 5: {
+        Vec Copy = V;       // copy round-trip
+        V = std::move(Copy);
+        break;
+      }
+      }
+      ASSERT_EQ(contents(V), Ref);
+    }
+  }
+}
+
+} // namespace
