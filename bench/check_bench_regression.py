@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the Table 3 bench snapshot.
+"""Perf-regression gates for the bench snapshots.
 
-Compares a freshly written BENCH_table3.json against the committed
-baseline (bench/BENCH_table3.baseline.json) and fails when
+Table 3 gate — compares a freshly written BENCH_table3.json against the
+committed baseline (bench/BENCH_table3.baseline.json) and fails when
 
   * total_solve_seconds regresses by more than the tolerance
     (default 30%, CI runners are noisy but not *that* noisy), or
@@ -10,23 +10,39 @@ baseline (bench/BENCH_table3.baseline.json) and fails when
     top — the result is sound but not the analysis' normal output, and
     timing comparisons against it are meaningless).
 
-Usage: check_bench_regression.py <current.json> [<baseline.json>]
-Exit status: 0 ok, 1 regression/non-convergence, 2 bad invocation.
+Throughput gate (--throughput) — compares BENCH_throughput.json against
+bench/BENCH_throughput.baseline.json and fails when
+
+  * identical_all is false (a concurrent run diverged from the
+    sequential oracle: a correctness bug, not a perf matter),
+  * jobs_per_sec_max regresses by more than the tolerance, or
+  * the 8-worker run scales below the floor for this machine's core
+    count: 3x over 1 worker with >= 8 hardware threads (the batch
+    runtime's contract), 1.5x with 4-7 (standard GitHub runners have 4
+    vCPUs — a serialization bug shows up as ~1.0x there, so the gate
+    must stay live on CI). Below 4 threads the floor is physically
+    unreachable and the check is skipped.
+
+  If the throughput baseline file does not exist yet the perf comparison
+  is skipped with a note (first run seeds it); the identity check always
+  runs.
+
+Usage:
+  check_bench_regression.py <table3.json> [<table3-baseline.json>]
+      [--throughput <throughput.json> [<throughput-baseline.json>]]
+Exit status: 0 ok, 1 regression/non-convergence/divergence, 2 bad invocation.
 """
 
 import json
+import os
 import sys
 
 TOLERANCE = 0.30
+# (min hardware threads, required 8-worker-over-1-worker scaling).
+SCALING_FLOORS = [(8, 3.0), (4, 1.5)]
 
 
-def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    current_path = argv[1]
-    baseline_path = argv[2] if len(argv) == 3 else "bench/BENCH_table3.baseline.json"
-
+def check_table3(current_path, baseline_path):
     with open(current_path) as f:
         current = json.load(f)
     with open(baseline_path) as f:
@@ -58,10 +74,88 @@ def main(argv):
         if b is None:
             continue
         delta = prog["solve_seconds"] - b["solve_seconds"]
+        rss = prog.get("peak_rss_kb")
+        rss_note = f"  rss {rss} KiB" if rss is not None else ""
         print(
             f"  {prog['key']:4s} {b['solve_seconds']:8.4f}s -> "
-            f"{prog['solve_seconds']:8.4f}s ({delta:+.4f}s)"
+            f"{prog['solve_seconds']:8.4f}s ({delta:+.4f}s){rss_note}"
         )
+
+    return failed
+
+
+def check_throughput(current_path, baseline_path):
+    with open(current_path) as f:
+        current = json.load(f)
+
+    failed = False
+
+    if not current.get("identical_all", False):
+        print("FAIL: concurrent batch results diverged from the sequential oracle")
+        failed = True
+
+    hw = current.get("hardware_concurrency", 0)
+    scaling = current.get("scaling_8w_over_1w", 0.0)
+    floor = next((f for min_hw, f in SCALING_FLOORS if hw >= min_hw), None)
+    if floor is not None:
+        verdict = "ok" if scaling >= floor else "REGRESSION"
+        print(
+            f"throughput scaling: 8w/1w {scaling:.2f}x on {hw} hardware "
+            f"threads (floor {floor:.1f}x) -> {verdict}"
+        )
+        if scaling < floor:
+            failed = True
+    else:
+        print(
+            f"throughput scaling: 8w/1w {scaling:.2f}x — not gated "
+            f"({hw} hardware threads < {SCALING_FLOORS[-1][0]})"
+        )
+
+    if not os.path.exists(baseline_path):
+        print(
+            f"throughput baseline {baseline_path} not found; skipping the "
+            f"jobs/sec comparison (seed it from this run's snapshot)"
+        )
+        return failed
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    cur = current["jobs_per_sec_max"]
+    base = baseline["jobs_per_sec_max"]
+    limit = base * (1.0 - TOLERANCE)
+    verdict = "ok" if cur >= limit else "REGRESSION"
+    print(
+        f"jobs_per_sec_max: current {cur:.1f} vs baseline {base:.1f} "
+        f"(limit {limit:.1f} at -{TOLERANCE:.0%}) -> {verdict}"
+    )
+    if cur < limit:
+        failed = True
+    return failed
+
+
+def main(argv):
+    args = argv[1:]
+    tp_current = tp_baseline = None
+    if "--throughput" in args:
+        i = args.index("--throughput")
+        tail = args[i + 1 :]
+        if not tail:
+            print(__doc__, file=sys.stderr)
+            return 2
+        tp_current = tail[0]
+        tp_baseline = (
+            tail[1] if len(tail) > 1 else "bench/BENCH_throughput.baseline.json"
+        )
+        args = args[:i]
+
+    if len(args) < 1 or len(args) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    table3_baseline = args[1] if len(args) == 2 else "bench/BENCH_table3.baseline.json"
+
+    failed = check_table3(args[0], table3_baseline)
+    if tp_current is not None:
+        failed = check_throughput(tp_current, tp_baseline) or failed
 
     return 1 if failed else 0
 

@@ -4,6 +4,7 @@
 
 #include "domains/PFLeaf.h"
 #include "domains/TypeLeaf.h"
+#include "runtime/SharedCache.h"
 #include "typegraph/GrammarParser.h"
 
 using namespace gaia;
@@ -104,13 +105,19 @@ void runWithLeaf(AnalysisResult &R, const typename Leaf::Context &C,
   R.Ok = true;
 }
 
-} // namespace
-
-AnalysisResult gaia::analyzeProgram(const std::string &Source,
-                                    const std::string &GoalSpec,
-                                    const AnalyzerOptions &Opts) {
+/// The common driver behind analyzeProgram and analyzeProgramWarm.
+/// \p SymsPtr is the table the run interns into (owning for cold runs,
+/// a snapshot copy for shared-tier runs, non-owning alias for warmup).
+/// \p ExternalOps, when set, is an accumulating cache owned by the
+/// caller (warmup); otherwise a per-run cache is constructed — over
+/// \p Shared's frozen tier when that is non-null.
+AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
+                           OpCache *ExternalOps, const SharedCache *Shared,
+                           const std::string &Source,
+                           const std::string &GoalSpec,
+                           const AnalyzerOptions &Opts) {
   AnalysisResult R;
-  R.Syms = std::make_shared<SymbolTable>();
+  R.Syms = std::move(SymsPtr);
   SymbolTable &Syms = *R.Syms;
 
   std::string Err;
@@ -154,17 +161,28 @@ AnalysisResult gaia::analyzeProgram(const std::string &Source,
     }
     if (!Database.empty())
       Widen.Database = &Database;
-    // The hash-consing interner plus op-cache layer; one per analysis,
+    // The hash-consing interner plus op-cache layer; one per analysis
+    // (layered over the shared tier's frozen maps when one is given),
     // shared by the engine and every leaf operation through the context.
-    std::optional<OpCache> Ops;
-    if (Opts.UseOpCache)
-      Ops.emplace(Syms, Norm);
-    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats,
-                        Ops ? &*Ops : nullptr};
+    std::optional<OpCache> Owned;
+    if (!ExternalOps && Opts.UseOpCache)
+      Owned.emplace(Syms, Norm, Shared ? Shared->ops() : nullptr);
+    OpCache *Ops = ExternalOps ? ExternalOps : (Owned ? &*Owned : nullptr);
+    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats, Ops};
+    if (Shared) {
+      // Per-job copy of the pre-primed constants (their intern caches
+      // carry the frozen tier's epoch), and the keep-alive anchor for
+      // everything the frozen tier owns.
+      C.Consts =
+          std::make_shared<TypeLeaf::Constants>(Shared->leafConstants());
+      C.Shared = Opts.Shared;
+    }
     runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
     if (Ops) {
       R.Stats.OpCacheHits = Ops->stats().Hits;
       R.Stats.OpCacheMisses = Ops->stats().Misses;
+      R.Stats.OpCacheSharedHits = Ops->stats().SharedHits;
+      R.Stats.InternSharedHits = Ops->interner().stats().SharedHits;
       R.Stats.InternedGraphs = Ops->interner().size();
     }
   } else {
@@ -173,4 +191,38 @@ AnalysisResult gaia::analyzeProgram(const std::string &Source,
   }
   R.Converged = R.Stats.FixpointAborts == 0;
   return R;
+}
+
+} // namespace
+
+AnalysisResult gaia::analyzeProgram(const std::string &Source,
+                                    const std::string &GoalSpec,
+                                    const AnalyzerOptions &Opts) {
+  // A shared tier is consulted only when every knob that shapes cached
+  // results matches the tier's warmup configuration; otherwise the run
+  // is simply cold (correctness never depends on the cache).
+  const SharedCache *Shared = nullptr;
+  if (Opts.Shared && Opts.Domain == DomainKind::TypeGraphs &&
+      Opts.UseOpCache && Opts.Shared->compatibleWith(Opts))
+    Shared = Opts.Shared.get();
+  std::shared_ptr<SymbolTable> Syms =
+      Shared ? std::make_shared<SymbolTable>(Shared->symbols())
+             : std::make_shared<SymbolTable>();
+  return analyzeImpl(std::move(Syms), /*ExternalOps=*/nullptr, Shared,
+                     Source, GoalSpec, Opts);
+}
+
+AnalysisResult gaia::analyzeProgramWarm(SymbolTable &Syms, OpCache &Ops,
+                                        const std::string &Source,
+                                        const std::string &GoalSpec,
+                                        const AnalyzerOptions &Opts) {
+  if (Opts.Domain != DomainKind::TypeGraphs) {
+    AnalysisResult R;
+    R.Error = "analyzeProgramWarm requires the type-graph domain";
+    return R;
+  }
+  // Non-owning alias: the caller owns the table across warmup calls.
+  std::shared_ptr<SymbolTable> Alias(std::shared_ptr<void>(), &Syms);
+  return analyzeImpl(std::move(Alias), &Ops, /*Shared=*/nullptr, Source,
+                     GoalSpec, Opts);
 }

@@ -24,6 +24,9 @@
 
 namespace gaia {
 
+class OpCache;     // typegraph/OpCache.h
+class SharedCache; // runtime/SharedCache.h
+
 /// Which abstract domain to run.
 enum class DomainKind : uint8_t {
   TypeGraphs,        ///< the paper's system Pat(Type)
@@ -58,6 +61,13 @@ struct AnalyzerOptions {
   /// extension): tree grammars in the notation of GrammarParser, e.g.
   /// "T ::= [] | cons(Any,T).". Parsed once per analysis.
   std::vector<std::string> TypeDatabase;
+  /// Optional frozen shared cache tier (runtime/SharedCache.h). When set
+  /// and compatible with this configuration, the run seeds its symbol
+  /// table from the tier's snapshot and lays its op cache over the
+  /// tier's frozen maps — amortizing graph work across requests. An
+  /// incompatible or null tier is simply ignored; results are identical
+  /// either way (the tier is exact), only timings change.
+  std::shared_ptr<const SharedCache> Shared;
 };
 
 /// One analyzed argument position.
@@ -109,6 +119,20 @@ struct AnalysisResult {
 AnalysisResult analyzeProgram(const std::string &Source,
                               const std::string &GoalSpec,
                               const AnalyzerOptions &Opts = {});
+
+/// Warmup entry point for the batch runtime (runtime/SharedCache.h):
+/// like analyzeProgram, but runs against an externally owned symbol
+/// table and operation cache so consecutive calls accumulate one cache
+/// population that SharedCache::build can freeze. \p Ops must have been
+/// constructed over \p Syms with the NormalizeOptions this configuration
+/// implies (OrCap from \p Opts). Requires DomainKind::TypeGraphs;
+/// Opts.UseOpCache and Opts.Shared are ignored (the external cache is
+/// always used). The returned result's Syms pointer aliases \p Syms and
+/// does not own it.
+AnalysisResult analyzeProgramWarm(SymbolTable &Syms, OpCache &Ops,
+                                  const std::string &Source,
+                                  const std::string &GoalSpec,
+                                  const AnalyzerOptions &Opts = {});
 
 } // namespace gaia
 

@@ -141,3 +141,26 @@ std::string gaia::formatQueryResult(const AnalysisResult &R,
   }
   return Out;
 }
+
+std::string gaia::analysisFingerprint(const AnalysisResult &R) {
+  std::string Out;
+  Out += "ok=" + std::to_string(R.Ok) +
+         " conv=" + std::to_string(R.Converged) +
+         " succeeds=" + std::to_string(R.QuerySucceeds) +
+         " proc=" + std::to_string(R.Stats.ProcedureIterations) +
+         " clause=" + std::to_string(R.Stats.ClauseIterations) +
+         " patterns=" + std::to_string(R.Stats.InputPatterns) + "\n";
+  for (const TypeGraph &G : R.QueryOutput)
+    Out += "out: " + printGrammarInline(G, *R.Syms) + "\n";
+  for (const PredicateSummary &S : R.Summaries) {
+    Out += S.Name + "/" + std::to_string(S.Arity) +
+           " tuples=" + std::to_string(S.NumTuples) + "\n";
+    for (uint32_t I = 0; I != S.Arity; ++I)
+      Out += "  in[" + std::to_string(I) + "] " + tagName(S.Input[I].Tag) +
+             " " + printGrammarInline(S.Input[I].Graph, *R.Syms) +
+             " | out[" + std::to_string(I) + "] " +
+             tagName(S.Output[I].Tag) + " " +
+             printGrammarInline(S.Output[I].Graph, *R.Syms) + "\n";
+  }
+  return Out;
+}

@@ -62,6 +62,16 @@ std::string perfTableHeader();
 std::string formatQueryResult(const AnalysisResult &R,
                               const std::string &GoalSpec);
 
+/// The batch runtime's bit-identity contract, rendered to one string:
+/// engine iteration counts, convergence, query output grammars, and the
+/// full per-predicate summary with Table 4/5 tags. Two runs of the same
+/// (program, goal, options) must produce equal fingerprints whether
+/// they ran cold, over a frozen shared cache tier, or on any worker
+/// count (bench/throughput.cpp gates on this; tests/AnalysisPoolTest.cpp
+/// pins it). Deliberately excludes timings and cache hit counters,
+/// which legitimately differ run to run.
+std::string analysisFingerprint(const AnalysisResult &R);
+
 } // namespace gaia
 
 #endif // GAIA_CORE_REPORT_H

@@ -21,6 +21,8 @@
 
 namespace gaia {
 
+class SharedCache; // runtime/SharedCache.h
+
 /// Leaf domain whose values are type graphs. All operations are pure;
 /// the Context carries the symbol table, normalization knobs (or-degree
 /// cap), widening statistics, and (optionally) the hash-consing
@@ -52,6 +54,13 @@ struct TypeLeaf {
     /// contexts this way).
     OpCache *Ops = nullptr;
     std::shared_ptr<Constants> Consts = std::make_shared<Constants>();
+    /// Keep-alive anchor for the batch runtime's frozen shared cache
+    /// tier (runtime/SharedCache.h). When the analyzer runs a job over a
+    /// shared tier, Ops' frozen maps, the interner's frozen prefix and
+    /// the pre-primed Consts all point into the SharedCache; holding the
+    /// refcount here guarantees they outlive every value this context
+    /// hands out, even if the pool swaps its cache mid-batch.
+    std::shared_ptr<const SharedCache> Shared;
   };
 
   static Value any(const Context &Ctx) {

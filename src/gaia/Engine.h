@@ -60,6 +60,16 @@ struct EngineOptions {
   uint32_t MaxFixpointRounds = 10000;
 };
 
+/// Process-global GAIA_TRACE flag, computed once. Engines used to call
+/// std::getenv per construction; a batch run constructs thousands of
+/// engines across worker threads, and getenv is not guaranteed
+/// thread-safe against the environment, so the lookup happens exactly
+/// once (thread-safe static initialization).
+inline bool engineTraceEnabled() {
+  static const bool Enabled = std::getenv("GAIA_TRACE") != nullptr;
+  return Enabled;
+}
+
 /// Statistics matching Table 3's measurements, plus the cache layer's
 /// hit/miss counters.
 struct EngineStats {
@@ -87,7 +97,13 @@ struct EngineStats {
   /// OpCache layer (zero when the leaf domain runs uncached).
   uint64_t OpCacheHits = 0;
   uint64_t OpCacheMisses = 0;
-  /// Distinct graph languages hash-consed by the interner.
+  /// Operation results and intern lookups resolved in the batch
+  /// runtime's frozen shared tier (zero for cold runs; see
+  /// runtime/SharedCache.h).
+  uint64_t OpCacheSharedHits = 0;
+  uint64_t InternSharedHits = 0;
+  /// Distinct graph languages hash-consed by the interner (shared tier
+  /// plus the run's private delta).
   uint64_t InternedGraphs = 0;
 };
 
@@ -105,9 +121,7 @@ public:
 
   Engine(const NProgram &Prog, const Ctx &C,
          const EngineOptions &Opts = {})
-      : Prog(Prog), C(C), Opts(Opts) {
-    Trace = std::getenv("GAIA_TRACE") != nullptr;
-  }
+      : Prog(Prog), C(C), Opts(Opts), Trace(engineTraceEnabled()) {}
 
   /// Analyzes the query \p Pred with input pattern \p In (one slot per
   /// argument) and returns the output pattern.
@@ -340,6 +354,14 @@ template <typename Leaf> void Engine<Leaf>::compute(Entry *E) {
   while (true) {
     E->Dirty = false;
     E->UsedRecursively = false;
+    // Unlink the reverse edges of the previous pass before rebuilding
+    // Deps: a callee this pass no longer reads must not keep E in its
+    // Dependents set, or its future version bumps would keep spuriously
+    // dirtying E (and re-running the depsUnchanged scan) for the rest of
+    // the run. Dropped dependencies are common — polyvariant entries
+    // migrate as call patterns evolve along a recursion.
+    for (const auto &[Dep, Version] : E->Deps)
+      Dep->Dependents.erase(E);
     E->Deps.clear();
     ++Stats.ProcedureIterations;
     ++LocalRounds;

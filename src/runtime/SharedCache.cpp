@@ -1,0 +1,96 @@
+//===- runtime/SharedCache.cpp ---------------------------------------------=//
+
+#include "runtime/SharedCache.h"
+
+#include <chrono>
+
+using namespace gaia;
+
+std::shared_ptr<const SharedCache>
+SharedCache::build(const std::vector<AnalysisJob> &Warmup,
+                   const AnalyzerOptions &Opts, std::string *Err) {
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why;
+    return nullptr;
+  };
+  if (Opts.Domain != DomainKind::TypeGraphs)
+    return Fail("shared cache requires the type-graph domain");
+  if (!Opts.UseOpCache)
+    return Fail("shared cache requires UseOpCache");
+
+  auto Start = std::chrono::steady_clock::now();
+  // Cannot use make_shared: the constructor is private.
+  std::shared_ptr<SharedCache> SC(new SharedCache());
+  SC->BuiltOpts = Opts;
+  SC->BuiltOpts.Shared = nullptr;
+
+  // One accumulating table + cache across all warmup jobs; the cache may
+  // itself sit on a previous batch's tier (freeze() merges the two).
+  // The table must then start from that tier's snapshot so the frozen
+  // graphs' functor ids keep meaning the same symbols.
+  const SharedCache *Prev = nullptr;
+  if (Opts.Shared && Opts.Shared->compatibleWith(Opts))
+    Prev = Opts.Shared.get();
+  if (Prev)
+    SC->Syms = Prev->symbols();
+  NormalizeOptions Norm;
+  Norm.OrCap = Opts.OrCap;
+  OpCache Warm(SC->Syms, Norm, Prev ? Prev->ops() : nullptr);
+
+  AnalyzerOptions WarmOpts = Opts;
+  WarmOpts.Shared = nullptr;
+  for (const AnalysisJob &Job : Warmup) {
+    AnalysisResult R = analyzeProgramWarm(SC->Syms, Warm, Job.Source,
+                                          Job.GoalSpec, WarmOpts);
+    if (!R.Ok)
+      return Fail("warmup job " + Job.Key + ": " + R.Error);
+    SC->St.AllConverged = SC->St.AllConverged && R.Converged;
+    ++SC->St.WarmupJobs;
+  }
+
+  SC->Ops = Warm.freeze();
+
+  // Pre-prime the leaf constants: resolve each against the frozen tier
+  // so the cached (epoch, id) pairs survive into every job's copy. A
+  // constant whose language the warmup never produced simply stays
+  // unprimed (the job's delta interner picks it up on first use).
+  SC->Consts.AnyList = TypeGraph::makeAnyList(SC->Syms);
+  {
+    GraphInterner Primer(SC->Syms, SC->Ops->Intern);
+    Primer.intern(SC->Consts.Any);
+    Primer.intern(SC->Consts.Int);
+    Primer.intern(SC->Consts.Bottom);
+    Primer.intern(*SC->Consts.AnyList);
+  }
+
+  // Warm the functor-rank memo so every job's snapshot copy starts with
+  // valid ranks instead of each recomputing them on first sort.
+  if (SC->Syms.numFunctors() != 0)
+    SC->Syms.functorRank(0);
+
+  SC->St.Graphs = SC->Ops->Intern->size();
+  SC->St.OpResults = SC->Ops->resultCount();
+  SC->St.Symbols = SC->Syms.numSymbols();
+  SC->St.WarmupSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return SC;
+}
+
+bool SharedCache::compatibleWith(const AnalyzerOptions &Opts) const {
+  if (Opts.Domain != DomainKind::TypeGraphs || !Opts.UseOpCache)
+    return false;
+  // Everything that shapes cached graph-operation results must match:
+  // the normalization cap and the widening configuration (including the
+  // type database the widening may consult). Engine-level knobs
+  // (polyvariance cap, fixpoint budget, arithmetic refinement) do not
+  // change what a graph operation returns, only which operations run.
+  if (Opts.OrCap != BuiltOpts.OrCap)
+    return false;
+  if (Opts.Widening != BuiltOpts.Widening)
+    return false;
+  if (Opts.Widening == WidenMode::DepthK && Opts.DepthK != BuiltOpts.DepthK)
+    return false;
+  return Opts.TypeDatabase == BuiltOpts.TypeDatabase;
+}

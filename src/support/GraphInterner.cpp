@@ -103,18 +103,42 @@ std::vector<uint64_t> automatonKey(const TypeGraph &G,
 
 } // namespace
 
-GraphInterner::GraphInterner(const SymbolTable &Syms)
-    : Syms(Syms), Epoch(nextInternerEpoch()) {}
+GraphInterner::GraphInterner(const SymbolTable &Syms,
+                             std::shared_ptr<const FrozenInternTier> Tier)
+    : Syms(Syms), Shared(std::move(Tier)),
+      Base(Shared ? Shared->size() : 0), Epoch(nextInternerEpoch()) {}
 
 CanonId GraphInterner::intern(const TypeGraph &G) {
   // O(1) path: this exact value object (or a copy of one) has been
-  // through this interner before.
+  // through this interner — or through the shared tier, whose ids form
+  // the dense prefix of this interner's id space and are therefore valid
+  // here as-is.
   if (G.internEpoch() == Epoch) {
     ++St.IdHits;
     return G.internId();
   }
+  if (Shared && G.internEpoch() == Shared->Epoch) {
+    ++St.SharedHits;
+    return G.internId();
+  }
 
   uint64_t H = structuralHash(G);
+
+  // Frozen shared tier: lookups only, never mutated (concurrent workers
+  // read it unsynchronized). A hit is cached on the *value* under the
+  // tier's epoch, so copies keep resolving against any interner layered
+  // over the same tier.
+  if (Shared) {
+    if (auto BucketIt = Shared->StructBuckets.find(H);
+        BucketIt != Shared->StructBuckets.end())
+      for (const auto &[Rep, Id] : BucketIt->second)
+        if (structuralEqual(*Rep, G)) {
+          ++St.SharedHits;
+          G.setInternCache(Shared->Epoch, Id);
+          return Id;
+        }
+  }
+
   auto &Bucket = StructBuckets[H];
   for (const auto &[Rep, Id] : Bucket)
     if (structuralEqual(*Rep, G)) {
@@ -124,6 +148,18 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
     }
 
   std::vector<uint64_t> AKey = automatonKey(G, Syms, Scratch);
+  if (Shared) {
+    auto SharedIt = Shared->AutoMap.find(AKey);
+    if (SharedIt != Shared->AutoMap.end()) {
+      // New shape of a language the shared tier knows: record the shape
+      // privately so the next structural lookup short-circuits.
+      ++St.SharedHits;
+      Aliases.push_back(G);
+      Bucket.emplace_back(&Aliases.back(), SharedIt->second);
+      G.setInternCache(Shared->Epoch, SharedIt->second);
+      return SharedIt->second;
+    }
+  }
   auto It = AutoMap.find(AKey);
   if (It != AutoMap.end()) {
     // New shape of a known language: remember it so the next structural
@@ -136,11 +172,60 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
   }
 
   ++St.Misses;
-  CanonId Id = static_cast<CanonId>(Canon.size());
+  CanonId Id = Base + static_cast<CanonId>(Canon.size());
   Canon.push_back(G);
   Canon.back().setInternCache(Epoch, Id);
   Bucket.emplace_back(&Canon.back(), Id);
   AutoMap.emplace(std::move(AKey), Id);
   G.setInternCache(Epoch, Id);
   return Id;
+}
+
+std::shared_ptr<const FrozenInternTier> GraphInterner::freeze() const {
+  auto T = std::make_shared<FrozenInternTier>();
+  T->Epoch = nextInternerEpoch();
+
+  // Canonical graphs: the shared tier's prefix (ids preserved) plus this
+  // interner's private delta. Fill the vector completely before taking
+  // pointers into it for the buckets.
+  T->Canon.reserve(Base + Canon.size());
+  if (Shared)
+    T->Canon.insert(T->Canon.end(), Shared->Canon.begin(),
+                    Shared->Canon.end());
+  T->Canon.insert(T->Canon.end(), Canon.begin(), Canon.end());
+  for (CanonId Id = 0; Id != static_cast<CanonId>(T->Canon.size()); ++Id) {
+    // Precompute the lazily-filled mutable caches now, so tier lookups
+    // are pure reads: concurrent workers must never write into these
+    // graphs.
+    structuralHash(T->Canon[Id]);
+    T->Canon[Id].setInternCache(T->Epoch, Id);
+  }
+
+  // Re-home the structural buckets: canonical representatives point at
+  // the new Canon storage, recorded aliases are copied over.
+  auto AddBuckets = [&](const auto &Buckets, auto IsCanonical) {
+    for (const auto &[Hash, Entries] : Buckets)
+      for (const auto &[Rep, Id] : Entries) {
+        if (IsCanonical(Rep, Id)) {
+          T->StructBuckets[Hash].emplace_back(&T->Canon[Id], Id);
+        } else {
+          T->Aliases.push_back(*Rep);
+          structuralHash(T->Aliases.back());
+          T->StructBuckets[Hash].emplace_back(&T->Aliases.back(), Id);
+        }
+      }
+  };
+  if (Shared)
+    AddBuckets(Shared->StructBuckets, [&](const TypeGraph *Rep, CanonId Id) {
+      return Rep == &Shared->Canon[Id];
+    });
+  AddBuckets(StructBuckets, [&](const TypeGraph *Rep, CanonId Id) {
+    return Id >= Base && Rep == &Canon[Id - Base];
+  });
+
+  if (Shared)
+    T->AutoMap = Shared->AutoMap;
+  for (const auto &[Key, Id] : AutoMap)
+    T->AutoMap.emplace(Key, Id);
+  return T;
 }

@@ -25,6 +25,17 @@
 ///      invariant — equal language iff equal id — holds even for
 ///      hand-built (non-canonical but normalized) graphs.
 ///
+/// For the batch runtime the interner is *two-tier*: `freeze()` snapshots
+/// a populated interner into an immutable FrozenInternTier whose lookups
+/// are safe for unsynchronized concurrent reads (every stored graph has
+/// its structural signature precomputed, so no lazy mutation happens at
+/// read time). A fresh interner constructed over a frozen tier resolves
+/// known languages to the tier's ids and allocates new (private) ids
+/// from `tier size` upward, so ids never alias across tiers: the shared
+/// tier owns the dense prefix [0, size), every delta id is >= size, and
+/// the epoch tags cached inside graph values are drawn from one global
+/// counter so a value can never smuggle an id between unrelated tiers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GAIA_SUPPORT_GRAPHINTERNER_H
@@ -35,6 +46,7 @@
 #include "typegraph/TypeGraph.h"
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -62,13 +74,44 @@ struct InternStats {
   uint64_t StructHits = 0; ///< resolved by the structural fast path
   uint64_t AutoHits = 0;   ///< new shape, known language (alias recorded)
   uint64_t Misses = 0;     ///< new language (canonical graph stored)
+  uint64_t SharedHits = 0; ///< resolved in the frozen shared tier
+};
+
+/// An immutable snapshot of a populated GraphInterner: the read-only
+/// shared tier of the batch runtime's two-tier cache. All lookups are
+/// const and every stored graph carries a precomputed structural
+/// signature and a (Epoch, id) intern cache, so concurrent readers never
+/// race on the lazily-filled mutable fields of TypeGraph. Construct via
+/// GraphInterner::freeze().
+struct FrozenInternTier {
+  /// Fresh process-unique epoch tag of this tier. Copies of the stored
+  /// canonical graphs carry it, so any interner layered over this tier
+  /// re-interns them with a tag compare.
+  uint64_t Epoch = 0;
+  /// Canonical representatives; the tier owns ids [0, Canon.size()).
+  std::vector<TypeGraph> Canon;
+  /// Extra recorded shapes of known languages (deque: bucket entries
+  /// hold pointers into it).
+  std::deque<TypeGraph> Aliases;
+  /// Shape hash -> (representative graph, id).
+  std::unordered_map<uint64_t,
+                     std::vector<std::pair<const TypeGraph *, CanonId>>>
+      StructBuckets;
+  /// Serialized minimal automaton -> id.
+  std::unordered_map<std::vector<uint64_t>, CanonId, U64VectorHash> AutoMap;
+
+  uint32_t size() const { return static_cast<uint32_t>(Canon.size()); }
 };
 
 /// Assigns canonical ids to normalized type graphs. Not thread-safe; one
-/// interner per analysis, sharing the analysis' SymbolTable.
+/// interner per analysis, sharing the analysis' SymbolTable. May be
+/// layered over a FrozenInternTier (see file comment): the tier is only
+/// read, so any number of concurrent interners can share one.
 class GraphInterner {
 public:
-  explicit GraphInterner(const SymbolTable &Syms);
+  explicit GraphInterner(const SymbolTable &Syms,
+                         std::shared_ptr<const FrozenInternTier> Shared =
+                             nullptr);
 
   /// Non-copyable/movable: StructBuckets holds pointers into the Canon
   /// and Aliases deques, which a copy or move would leave dangling.
@@ -79,23 +122,42 @@ public:
   /// normalizeFrom or the canonical make* constructors) and returns its
   /// canonical id. Language-equal graphs receive equal ids. The resolved
   /// id is written back into the graph's intern cache (tagged with this
-  /// interner's epoch), so re-interning the same value — every cached
-  /// leaf operation interns its operands — is a tag compare.
+  /// interner's epoch, or with the shared tier's epoch when the language
+  /// lives there — tier ids are valid under every interner sharing that
+  /// tier), so re-interning the same value — every cached leaf operation
+  /// interns its operands — is a tag compare.
   CanonId intern(const TypeGraph &G);
 
   /// The canonical representative of \p Id (the first graph interned with
-  /// that language). Stable for the interner's lifetime.
-  const TypeGraph &graph(CanonId Id) const { return Canon[Id]; }
+  /// that language; for ids below the shared tier's size, the tier's
+  /// graph). Stable for the interner's lifetime.
+  const TypeGraph &graph(CanonId Id) const {
+    return Id < Base ? Shared->Canon[Id] : Canon[Id - Base];
+  }
 
-  /// Number of distinct languages interned.
-  uint32_t size() const { return static_cast<uint32_t>(Canon.size()); }
+  /// Number of distinct languages known (shared tier + private delta).
+  uint32_t size() const {
+    return Base + static_cast<uint32_t>(Canon.size());
+  }
+  /// Number of languages interned privately (beyond the shared tier).
+  uint32_t deltaSize() const { return static_cast<uint32_t>(Canon.size()); }
+
+  /// Snapshots this interner (shared tier included, ids preserved) into
+  /// an immutable tier safe for unsynchronized concurrent lookups.
+  std::shared_ptr<const FrozenInternTier> freeze() const;
+
+  const FrozenInternTier *sharedTier() const { return Shared.get(); }
 
   const InternStats &stats() const { return St; }
 
 private:
   const SymbolTable &Syms;
-  /// Canonical representatives, indexed by CanonId. Deque: stable
-  /// references across growth.
+  /// Read-only shared tier (may be null). Owns ids [0, Base).
+  std::shared_ptr<const FrozenInternTier> Shared;
+  /// First private id: the shared tier's size.
+  CanonId Base = 0;
+  /// Private canonical representatives, indexed by CanonId - Base.
+  /// Deque: stable references across growth.
   std::deque<TypeGraph> Canon;
   /// Alias storage for structurally novel graphs of known languages.
   std::deque<TypeGraph> Aliases;

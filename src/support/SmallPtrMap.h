@@ -16,9 +16,9 @@
 #ifndef GAIA_SUPPORT_SMALLPTRMAP_H
 #define GAIA_SUPPORT_SMALLPTRMAP_H
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -93,7 +93,11 @@ private:
 };
 
 /// Set of pointers with the same hybrid strategy and insertion-order
-/// iteration.
+/// iteration — except after `erase`, which swap-pops and therefore
+/// perturbs the order (the engine's Dependents sets are pure sets: the
+/// dirty-marking sweep over them is order-independent). The index maps
+/// each element to its vector position so erase stays O(1) for the hub
+/// entries with hundreds of dependents.
 template <typename T, unsigned N = 8> class SmallPtrSet {
 public:
   /// Returns true if \p Key was newly inserted.
@@ -103,9 +107,10 @@ public:
     Elems.push_back(Key);
     if (!Index.empty() || Elems.size() > N) {
       if (Index.empty())
-        Index.insert(Elems.begin(), Elems.end());
+        for (uint32_t I = 0; I != Elems.size(); ++I)
+          Index.emplace(Elems[I], I);
       else
-        Index.insert(Key);
+        Index.emplace(Key, static_cast<uint32_t>(Elems.size() - 1));
     }
     return true;
   }
@@ -118,6 +123,31 @@ public:
       return false;
     }
     return Index.count(Key) != 0;
+  }
+
+  /// Removes \p Key if present (swap-pop). Returns true if it was.
+  bool erase(T *Key) {
+    uint32_t Pos;
+    if (Index.empty()) {
+      Pos = 0;
+      while (Pos != Elems.size() && Elems[Pos] != Key)
+        ++Pos;
+      if (Pos == Elems.size())
+        return false;
+    } else {
+      auto It = Index.find(Key);
+      if (It == Index.end())
+        return false;
+      Pos = It->second;
+      Index.erase(It);
+    }
+    if (Pos + 1 != Elems.size()) {
+      Elems[Pos] = Elems.back();
+      if (!Index.empty())
+        Index[Elems[Pos]] = Pos;
+    }
+    Elems.pop_back();
+    return true;
   }
 
   void clear() {
@@ -136,7 +166,8 @@ public:
 
 private:
   std::vector<T *> Elems;
-  std::unordered_set<T *> Index; ///< engaged past N elements
+  /// Element -> vector position; engaged past N elements.
+  std::unordered_map<T *, uint32_t> Index;
 };
 
 } // namespace gaia

@@ -14,6 +14,13 @@ bool OpCache::includes(const TypeGraph &Big, const TypeGraph &Small) {
   if (B == S)
     return true; // same language
   auto Key = std::make_pair(B, S);
+  if (Shared) {
+    auto It = Shared->Incl.find(Key);
+    if (It != Shared->Incl.end()) {
+      ++St.SharedHits;
+      return It->second != 0;
+    }
+  }
   auto It = Incl.find(Key);
   if (It != Incl.end()) {
     ++St.Hits;
@@ -29,6 +36,13 @@ TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
   CanonId IA = Interned.intern(A);
   CanonId IB = Interned.intern(B);
   auto Key = std::make_pair(std::min(IA, IB), std::max(IA, IB));
+  if (Shared) {
+    auto It = Shared->Union.find(Key);
+    if (It != Shared->Union.end()) {
+      ++St.SharedHits;
+      return Interned.graph(It->second);
+    }
+  }
   auto It = Union.find(Key);
   if (It != Union.end()) {
     ++St.Hits;
@@ -46,6 +60,13 @@ TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
   CanonId IA = Interned.intern(A);
   CanonId IB = Interned.intern(B);
   auto Key = std::make_pair(std::min(IA, IB), std::max(IA, IB));
+  if (Shared) {
+    auto It = Shared->Inter.find(Key);
+    if (It != Shared->Inter.end()) {
+      ++St.SharedHits;
+      return Interned.graph(It->second);
+    }
+  }
   auto It = Inter.find(Key);
   if (It != Inter.end()) {
     ++St.Hits;
@@ -65,6 +86,15 @@ TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
   CanonId IO = Interned.intern(Old);
   CanonId IN = Interned.intern(New);
   auto Key = std::make_pair(IO, IN); // widening is not commutative
+  if (Shared) {
+    auto It = Shared->Widen.find(Key);
+    if (It != Shared->Widen.end()) {
+      ++St.SharedHits;
+      if (WStats)
+        ++WStats->CacheHits;
+      return Interned.graph(It->second);
+    }
+  }
   auto It = Widen.find(Key);
   if (It != Widen.end()) {
     ++St.Hits;
@@ -84,26 +114,33 @@ bool OpCache::restrictOf(const TypeGraph &V, FunctorId Fn,
                          std::vector<TypeGraph> &ArgsOut) {
   CanonId Id = Interned.intern(V);
   auto Key = std::make_pair(Id, static_cast<uint32_t>(Fn));
+  auto Unpack = [&](const RestrictMemo &M) {
+    ArgsOut.clear();
+    for (CanonId A : M.Args)
+      ArgsOut.push_back(Interned.graph(A));
+    return M.Ok;
+  };
+  if (Shared) {
+    auto It = Shared->Restrict.find(Key);
+    if (It != Shared->Restrict.end()) {
+      ++St.SharedHits;
+      return Unpack(It->second);
+    }
+  }
   auto It = Restrict.find(Key);
   if (It != Restrict.end()) {
     ++St.Hits;
-    ArgsOut.clear();
-    for (CanonId A : It->second.Args)
-      ArgsOut.push_back(Interned.graph(A));
-    return It->second.Ok;
+    return Unpack(It->second);
   }
   ++St.Misses;
-  RestrictResult R;
+  RestrictMemo R;
   R.Ok = graphRestrict(Interned.graph(Id), Fn, Syms, Norm, ArgsOut,
                        &Scratch);
   for (const TypeGraph &A : ArgsOut)
     R.Args.push_back(Interned.intern(A));
   // Hand back the canonical representatives: they carry their interner
   // caches, so downstream operations on these values intern in O(1).
-  ArgsOut.clear();
-  for (CanonId A : R.Args)
-    ArgsOut.push_back(Interned.graph(A));
-  bool Ok = R.Ok;
+  bool Ok = Unpack(R);
   Restrict.emplace(Key, std::move(R));
   return Ok;
 }
@@ -115,6 +152,13 @@ TypeGraph OpCache::constructOf(FunctorId Fn,
   Key.push_back(Fn);
   for (const TypeGraph &A : Args)
     Key.push_back(Interned.intern(A));
+  if (Shared) {
+    auto It = Shared->Construct.find(Key);
+    if (It != Shared->Construct.end()) {
+      ++St.SharedHits;
+      return Interned.graph(It->second);
+    }
+  }
   auto It = Construct.find(Key);
   if (It != Construct.end()) {
     ++St.Hits;
@@ -125,4 +169,29 @@ TypeGraph OpCache::constructOf(FunctorId Fn,
       Interned.intern(graphConstruct(Fn, Args, Syms, Norm, &Scratch));
   Construct.emplace(std::move(Key), R);
   return Interned.graph(R);
+}
+
+std::shared_ptr<const FrozenOpTier> OpCache::freeze() const {
+  auto T = std::make_shared<FrozenOpTier>();
+  T->Intern = Interned.freeze();
+  T->Norm = Norm;
+  // Merge: the shared tier's results first, then the private delta. Keys
+  // never conflict on semantics (both tiers record the same pure
+  // function of the operand languages), so emplace's keep-first policy
+  // is immaterial.
+  if (Shared) {
+    T->Incl = Shared->Incl;
+    T->Union = Shared->Union;
+    T->Inter = Shared->Inter;
+    T->Widen = Shared->Widen;
+    T->Restrict = Shared->Restrict;
+    T->Construct = Shared->Construct;
+  }
+  T->Incl.insert(Incl.begin(), Incl.end());
+  T->Union.insert(Union.begin(), Union.end());
+  T->Inter.insert(Inter.begin(), Inter.end());
+  T->Widen.insert(Widen.begin(), Widen.end());
+  T->Restrict.insert(Restrict.begin(), Restrict.end());
+  T->Construct.insert(Construct.begin(), Construct.end());
+  return T;
 }

@@ -202,6 +202,14 @@ public:
   /// Cached (interner epoch, canonical id): a graph that has been
   /// interned remembers its id, so re-interning the same value — the
   /// single hottest operation of the cached analysis — is a tag compare.
+  /// The scheme is tier-aware: epochs are drawn from one process-wide
+  /// counter shared by live interners and frozen shared tiers
+  /// (support/GraphInterner.h), so a cached id can never alias across
+  /// tiers — an interner honors exactly its own epoch and (when layered
+  /// over a frozen tier) the tier's epoch, whose ids form the dense
+  /// prefix of its id space. Values resolved against a frozen tier are
+  /// tagged with the *tier's* epoch, making their ids portable across
+  /// every worker sharing that tier.
   uint64_t internEpoch() const { return InternEpoch; }
   uint32_t internId() const { return InternId; }
   void setInternCache(uint64_t Epoch, uint32_t Id) const {
