@@ -103,6 +103,7 @@ double cacheHitRate(const AnalysisResult &R) {
   return Total ? double(R.Stats.OpCacheHits) / double(Total) : 0.0;
 }
 
+
 std::vector<Table3Row> runTable3(bool &PerProgramRss) {
   std::vector<Table3Row> Rows;
   PerProgramRss = true;
@@ -184,6 +185,7 @@ bool writeJson(const std::vector<Table3Row> &Rows, bool PerProgramRss,
   for (size_t I = 0; I != Rows.size(); ++I) {
     const Table3Row &Row = Rows[I];
     const EngineStats &S = Row.Base.Stats;
+    const WideningStats &W = Row.Base.WStats;
     std::fprintf(
         F,
         "    {\"key\": \"%s\", \"solve_seconds\": %.6f, "
@@ -193,6 +195,11 @@ bool writeJson(const std::vector<Table3Row> &Rows, bool PerProgramRss,
         "\"op_cache_hit_rate\": %.4f, \"interned_graphs\": %llu, "
         "\"entry_lookups\": %llu, \"entry_compares\": %llu, "
         "\"recomputes_skipped\": %llu, \"peak_rss_kb\": %ld, "
+        "\"widen_invocations\": %llu, \"widen_cache_hits\": %llu, "
+        "\"widen_clash_walks\": %llu, \"widen_clashes\": %llu, "
+        "\"widen_cycle_introductions\": %llu, \"widen_replacements\": %llu, "
+        "\"widen_incremental_skips\": %llu, "
+        "\"widen_budget_exhaustions\": %llu, \"pf_set_hit_rate\": %.4f, "
         "\"converged\": %s}%s\n",
         Row.Key.c_str(), S.SolveSeconds,
         static_cast<unsigned long long>(S.ProcedureIterations),
@@ -205,7 +212,16 @@ bool writeJson(const std::vector<Table3Row> &Rows, bool PerProgramRss,
         static_cast<unsigned long long>(S.EntryLookups),
         static_cast<unsigned long long>(S.EntryCompares),
         static_cast<unsigned long long>(S.RecomputesSkipped),
-        Row.PeakRssKb, Row.Base.Converged ? "true" : "false",
+        Row.PeakRssKb,
+        static_cast<unsigned long long>(W.Invocations),
+        static_cast<unsigned long long>(W.CacheHits),
+        static_cast<unsigned long long>(W.ClashWalks),
+        static_cast<unsigned long long>(W.Clashes),
+        static_cast<unsigned long long>(W.CycleIntroductions),
+        static_cast<unsigned long long>(W.Replacements),
+        static_cast<unsigned long long>(W.IncrementalSkips),
+        static_cast<unsigned long long>(W.BudgetExhaustions),
+        S.pfSetHitRate(), Row.Base.Converged ? "true" : "false",
         I + 1 != Rows.size() ? "," : "");
   }
   std::fprintf(F,

@@ -105,6 +105,15 @@ struct EngineStats {
   /// Distinct graph languages hash-consed by the interner (shared tier
   /// plus the run's private delta).
   uint64_t InternedGraphs = 0;
+  /// Pf-set interner counters (support/PfSetInterner.h), filled in by
+  /// the analyzer from the widening scratch (zero when uncached).
+  uint64_t PfSetHits = 0;
+  uint64_t PfSetMisses = 0;
+  uint64_t PfSetSharedHits = 0;
+  double pfSetHitRate() const {
+    uint64_t Total = PfSetHits + PfSetMisses + PfSetSharedHits;
+    return Total ? double(PfSetHits + PfSetSharedHits) / double(Total) : 0.0;
+  }
 };
 
 template <typename Leaf> class Engine {

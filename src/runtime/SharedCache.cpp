@@ -71,6 +71,7 @@ SharedCache::build(const std::vector<AnalysisJob> &Warmup,
 
   SC->St.Graphs = SC->Ops->Intern->size();
   SC->St.OpResults = SC->Ops->resultCount();
+  SC->St.PfSets = SC->Ops->Pf->size();
   SC->St.Symbols = SC->Syms.numSymbols();
   SC->St.WarmupSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)

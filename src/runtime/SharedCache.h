@@ -63,6 +63,7 @@ public:
     double WarmupSeconds = 0;  ///< total warmup analysis + freeze time
     uint64_t Graphs = 0;       ///< distinct languages in the frozen tier
     uint64_t OpResults = 0;    ///< frozen operation results
+    uint64_t PfSets = 0;       ///< distinct pf-sets in the frozen tier
     uint32_t Symbols = 0;      ///< symbol-table snapshot size
     bool AllConverged = true;  ///< every warmup analysis converged
   };

@@ -15,12 +15,22 @@ uint64_t gaia::structuralHash(const TypeGraph &G) {
   if (G.root() == InvalidNode) {
     Result = 0x1507;
   } else {
-    TypeGraph::Topology T = G.computeTopology();
-    std::vector<uint32_t> Remap(G.numNodes(), ~0u);
-    for (size_t I = 0; I != T.BfsOrder.size(); ++I)
-      Remap[T.BfsOrder[I]] = static_cast<uint32_t>(I);
-    std::size_t Seed = T.BfsOrder.size();
-    for (NodeId V : T.BfsOrder) {
+    // Single-pass BFS with reused thread-local buffers: this runs on
+    // every interner miss, so it must not allocate per call.
+    static thread_local std::vector<uint32_t> Remap;
+    static thread_local std::vector<NodeId> Order;
+    Remap.assign(G.numNodes(), ~0u);
+    Order.clear();
+    Order.push_back(G.root());
+    Remap[G.root()] = 0;
+    for (size_t Head = 0; Head != Order.size(); ++Head)
+      for (NodeId S : G.node(Order[Head]).Succs)
+        if (Remap[S] == ~0u) {
+          Remap[S] = static_cast<uint32_t>(Order.size());
+          Order.push_back(S);
+        }
+    std::size_t Seed = Order.size();
+    for (NodeId V : Order) {
       const TGNode &N = G.node(V);
       hashCombine(Seed, static_cast<std::size_t>(N.Kind));
       if (N.Kind == NodeKind::Func)
@@ -40,26 +50,39 @@ bool gaia::structuralEqual(const TypeGraph &A, const TypeGraph &B) {
     return false;
   if (A.root() == InvalidNode)
     return true;
-  TypeGraph::Topology TA = A.computeTopology();
-  TypeGraph::Topology TB = B.computeTopology();
-  if (TA.BfsOrder.size() != TB.BfsOrder.size())
-    return false;
-  std::vector<uint32_t> RemapA(A.numNodes(), ~0u);
-  std::vector<uint32_t> RemapB(B.numNodes(), ~0u);
-  for (size_t I = 0; I != TA.BfsOrder.size(); ++I) {
-    RemapA[TA.BfsOrder[I]] = static_cast<uint32_t>(I);
-    RemapB[TB.BfsOrder[I]] = static_cast<uint32_t>(I);
-  }
-  for (size_t I = 0; I != TA.BfsOrder.size(); ++I) {
-    const TGNode &NA = A.node(TA.BfsOrder[I]);
-    const TGNode &NB = B.node(TB.BfsOrder[I]);
+  // Lock-step BFS over both graphs: the pair of traversals assigns the
+  // same canonical number to corresponding vertices and fails fast at
+  // the first divergence (kind, functor, successor count, or successor
+  // numbering). Equivalent to comparing the two BFS-renumbered graphs,
+  // without materializing either topology.
+  static thread_local std::vector<uint32_t> RemapA, RemapB;
+  static thread_local std::vector<NodeId> OrderA, OrderB;
+  RemapA.assign(A.numNodes(), ~0u);
+  RemapB.assign(B.numNodes(), ~0u);
+  OrderA.clear();
+  OrderB.clear();
+  OrderA.push_back(A.root());
+  OrderB.push_back(B.root());
+  RemapA[A.root()] = 0;
+  RemapB[B.root()] = 0;
+  for (size_t Head = 0; Head != OrderA.size(); ++Head) {
+    const TGNode &NA = A.node(OrderA[Head]);
+    const TGNode &NB = B.node(OrderB[Head]);
     if (NA.Kind != NB.Kind || NA.Succs.size() != NB.Succs.size())
       return false;
     if (NA.Kind == NodeKind::Func && NA.Fn != NB.Fn)
       return false;
-    for (size_t J = 0; J != NA.Succs.size(); ++J)
-      if (RemapA[NA.Succs[J]] != RemapB[NB.Succs[J]])
+    for (size_t J = 0; J != NA.Succs.size(); ++J) {
+      NodeId SA = NA.Succs[J], SB = NB.Succs[J];
+      uint32_t MA = RemapA[SA], MB = RemapB[SB];
+      if (MA != MB)
         return false;
+      if (MA == ~0u) {
+        RemapA[SA] = RemapB[SB] = static_cast<uint32_t>(OrderA.size());
+        OrderA.push_back(SA);
+        OrderB.push_back(SB);
+      }
+    }
   }
   return true;
 }

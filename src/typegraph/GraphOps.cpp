@@ -57,16 +57,19 @@ static Constituents constituentsOf(const TypeGraph &G, NodeId V) {
 /// Inclusion check over the product of reachable position pairs. On
 /// normalized (deterministic, pruned) graphs the local condition at every
 /// reachable pair is necessary and sufficient: every vertex is productive,
-/// so a local failure always has a concrete term witness.
+/// so a local failure always has a concrete term witness. The visited set
+/// is the scratch's epoch-marked pair table: a warm check allocates
+/// nothing.
 class InclusionChecker {
 public:
   InclusionChecker(const TypeGraph &G1, const TypeGraph &G2,
-                   const SymbolTable &Syms)
-      : G1(G1), G2(G2), Syms(Syms) {}
+                   const SymbolTable &Syms, PairTable &Visited)
+      : G1(G1), G2(G2), Syms(Syms), Visited(Visited) {
+    Visited.begin();
+  }
 
   bool check(NodeId V1, NodeId V2) {
-    auto Key = std::make_pair(V1, V2);
-    if (!Visited.insert(Key).second)
+    if (!Visited.insert(V1, V2).second)
       return true;
     Constituents C1 = constituentsOf(G1, V1);
     Constituents C2 = constituentsOf(G2, V2);
@@ -102,36 +105,44 @@ private:
   const TypeGraph &G1;
   const TypeGraph &G2;
   const SymbolTable &Syms;
-  std::unordered_set<std::pair<NodeId, NodeId>, PairHash> Visited;
+  PairTable &Visited;
 };
 
 } // namespace
 
+WideningScratch &gaia::detail::wideningScratchOr(WideningScratch *WS) {
+  static thread_local WideningScratch TLS;
+  return WS ? *WS : TLS;
+}
+
 bool gaia::graphIncludes(const TypeGraph &G2, const TypeGraph &G1,
-                         const SymbolTable &Syms) {
+                         const SymbolTable &Syms, WideningScratch *WS) {
   if (G1.isBottomGraph())
     return true;
   if (G2.isBottomGraph())
     return false;
-  InclusionChecker C(G1, G2, Syms);
+  InclusionChecker C(G1, G2, Syms, detail::wideningScratchOr(WS).Incl);
   return C.check(G1.root(), G2.root());
 }
 
 bool gaia::vertexIncludes(const TypeGraph &G2, NodeId V2, const TypeGraph &G1,
-                          NodeId V1, const SymbolTable &Syms) {
-  InclusionChecker C(G1, G2, Syms);
+                          NodeId V1, const SymbolTable &Syms,
+                          WideningScratch *WS) {
+  InclusionChecker C(G1, G2, Syms, detail::wideningScratchOr(WS).Incl);
   return C.check(V1, V2);
 }
 
 bool gaia::graphEquals(const TypeGraph &A, const TypeGraph &B,
-                       const SymbolTable &Syms) {
-  return graphIncludes(A, B, Syms) && graphIncludes(B, A, Syms);
+                       const SymbolTable &Syms, WideningScratch *WS) {
+  return graphIncludes(A, B, Syms, WS) && graphIncludes(B, A, Syms, WS);
 }
 
 NodeId gaia::copySubgraph(const TypeGraph &From, NodeId V, TypeGraph &Out) {
   // Iterative two-phase copy: create all reachable nodes, then wire
   // edges. Ids are dense, so the memo is a flat remap array instead of a
-  // hash map.
+  // hash map. Reserving the source size up front (an upper bound on the
+  // reachable part) keeps the node vector from reallocating mid-copy.
+  Out.reserveNodes(Out.numNodes() + From.numNodes());
   std::vector<NodeId> Remap(From.numNodes(), InvalidNode);
   SmallVector<NodeId, 16> Order;
   SmallVector<NodeId, 16> Stack{V};
@@ -173,20 +184,21 @@ NodeId gaia::copySubgraph(const TypeGraph &From, NodeId V, TypeGraph &Out) {
 
 namespace {
 
-/// Product construction for intersection.
+/// Product construction for intersection. The product memo is the
+/// scratch's epoch-marked pair table.
 class Intersector {
 public:
   Intersector(const TypeGraph &G1, const TypeGraph &G2,
-              const SymbolTable &Syms)
-      : G1(G1), G2(G2), Syms(Syms) {}
+              const SymbolTable &Syms, PairTable &Memo)
+      : G1(G1), G2(G2), Syms(Syms), Memo(Memo) {
+    Memo.begin();
+  }
 
   NodeId intersect(NodeId V1, NodeId V2) {
-    auto Key = std::make_pair(V1, V2);
-    auto It = Memo.find(Key);
-    if (It != Memo.end())
-      return It->second;
+    if (const uint32_t *Hit = Memo.find(V1, V2))
+      return *Hit;
     NodeId Or = Out.addOr({});
-    Memo.emplace(Key, Or);
+    Memo.insert(V1, V2, Or);
 
     Constituents C1 = constituentsOf(G1, V1);
     Constituents C2 = constituentsOf(G2, V2);
@@ -245,7 +257,7 @@ private:
   const TypeGraph &G2;
   const SymbolTable &Syms;
   TypeGraph Out;
-  std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> Memo;
+  PairTable &Memo;
 };
 
 } // namespace
@@ -253,10 +265,11 @@ private:
 TypeGraph gaia::graphIntersect(const TypeGraph &G1, const TypeGraph &G2,
                                const SymbolTable &Syms,
                                const NormalizeOptions &Opts,
-                               NormalizeScratch *Scratch) {
+                               NormalizeScratch *Scratch,
+                               WideningScratch *WS) {
   if (G1.isBottomGraph() || G2.isBottomGraph())
     return TypeGraph::makeBottom();
-  Intersector I(G1, G2, Syms);
+  Intersector I(G1, G2, Syms, detail::wideningScratchOr(WS).ProductMemo);
   NodeId Root = I.intersect(G1.root(), G2.root());
   TypeGraph Raw = I.take(Root);
   return normalizeGraph(Raw, Syms, Opts, Scratch);
@@ -271,6 +284,7 @@ TypeGraph gaia::graphUnion(const TypeGraph &G1, const TypeGraph &G2,
   if (G2.isBottomGraph())
     return normalizeGraph(G1, Syms, Opts, Scratch);
   TypeGraph Out;
+  Out.reserveNodes(G1.numNodes() + G2.numNodes() + 1);
   NodeId R1 = copySubgraph(G1, G1.root(), Out);
   NodeId R2 = copySubgraph(G2, G2.root(), Out);
   Out.setRoot(Out.addOr({R1, R2}));

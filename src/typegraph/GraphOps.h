@@ -18,31 +18,185 @@
 #ifndef GAIA_TYPEGRAPH_GRAPHOPS_H
 #define GAIA_TYPEGRAPH_GRAPHOPS_H
 
+#include "support/PfSetInterner.h"
 #include "typegraph/Normalize.h"
 #include "typegraph/TypeGraph.h"
 
 namespace gaia {
 
+/// Epoch-marked open-addressing hash table over (NodeId, NodeId) keys
+/// with a uint32_t payload. The product traversals (inclusion check,
+/// intersection, the widening's correspondence walk) need one visited
+/// set / memo per call; `begin()` forgets the previous call's entries in
+/// O(1) instead of deallocating, so a warm table performs no heap
+/// traffic at all.
+class PairTable {
+public:
+  /// Opens a new epoch; all previous entries become invisible.
+  void begin() {
+    ++Epoch;
+    Count = 0;
+    if (Slots.empty())
+      Slots.resize(256);
+  }
+
+  /// Inserts (A, B) -> Val if absent (begin() must have been called).
+  /// Returns the payload slot (existing or new) and whether the key was
+  /// inserted.
+  std::pair<uint32_t &, bool> insert(NodeId A, NodeId B, uint32_t Val = 0) {
+    assert(Epoch != 0 && "PairTable::begin() not called");
+    if ((Count + 1) * 4 >= Slots.size() * 3)
+      grow();
+    size_t I = probe(A, B);
+    Slot &S = Slots[I];
+    if (S.Mark == Epoch)
+      return {S.Val, false};
+    S.Mark = Epoch;
+    S.Key = key(A, B);
+    S.Val = Val;
+    ++Count;
+    return {S.Val, true};
+  }
+
+  /// Returns the payload of (A, B) in the current epoch, or null.
+  const uint32_t *find(NodeId A, NodeId B) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t I = probe(A, B);
+    return Slots[I].Mark == Epoch ? &Slots[I].Val : nullptr;
+  }
+
+private:
+  struct Slot {
+    uint64_t Key = 0;
+    uint64_t Mark = 0;
+    uint32_t Val = 0;
+  };
+  static uint64_t key(NodeId A, NodeId B) {
+    return (uint64_t(A) << 32) | B;
+  }
+  /// First slot that holds (A, B) in this epoch or is free. Capacity is a
+  /// power of two; linear probing.
+  size_t probe(NodeId A, NodeId B) const {
+    uint64_t K = key(A, B);
+    uint64_t H = K * 0x9E3779B97F4A7C15ull;
+    size_t Mask = Slots.size() - 1;
+    size_t I = (H >> 32) & Mask;
+    while (Slots[I].Mark == Epoch && Slots[I].Key != K)
+      I = (I + 1) & Mask;
+    return I;
+  }
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 256 : Old.size() * 2, Slot{});
+    for (const Slot &S : Old) {
+      if (S.Mark != Epoch)
+        continue;
+      uint64_t H = S.Key * 0x9E3779B97F4A7C15ull;
+      size_t Mask = Slots.size() - 1;
+      size_t I = (H >> 32) & Mask;
+      while (Slots[I].Mark == Epoch)
+        I = (I + 1) & Mask;
+      Slots[I] = S;
+    }
+  }
+
+  std::vector<Slot> Slots;
+  uint64_t Epoch = 0;
+  size_t Count = 0;
+};
+
+/// Reusable buffers for the pairwise graph operations and the Section 7
+/// widening loop, mirroring NormalizeScratch: one instance per analysis
+/// (owned by the operation cache), threaded through every entry point;
+/// passing nullptr falls back to a thread-local instance. Owns the
+/// analysis' pf-set interner (optionally layered over a frozen shared
+/// tier, runtime/SharedCache.h) — pf-set ids are what the widening's
+/// topology caches and clash tests are keyed on.
+///
+/// The widening-loop members (walk/clean tables, topology arrays, dirty
+/// propagation buffers) are implementation state of typegraph/Widening.cpp;
+/// they live here so a warm widening performs no allocations.
+class WideningScratch {
+public:
+  explicit WideningScratch(std::shared_ptr<const FrozenPfTier> SharedPf =
+                               nullptr)
+      : PfSets(std::move(SharedPf)) {}
+
+  WideningScratch(const WideningScratch &) = delete;
+  WideningScratch &operator=(const WideningScratch &) = delete;
+
+  /// Interned principal-functor sets (support/PfSetInterner.h).
+  PfSetInterner PfSets;
+  /// Visited set of the inclusion checker.
+  PairTable Incl;
+  /// Product memo of the intersection construction.
+  PairTable ProductMemo;
+
+  // --- widening loop state (see typegraph/Widening.cpp) ---
+  /// Correspondence-walk visited set, mapping pair -> walk index.
+  PairTable WalkSeen;
+  /// Pairs whose cone was clash-free in the previous walk.
+  PairTable Clean;
+  std::vector<std::pair<NodeId, NodeId>> Pairs;     ///< walk pair list
+  std::vector<std::pair<uint32_t, uint32_t>> Edges; ///< pair-graph edges
+  std::vector<uint8_t> Flags;                       ///< per-pair walk flags
+  std::vector<std::pair<NodeId, NodeId>> Clashes;
+  /// Gn topology, filled by TypeGraph::fillTopology (the same code that
+  /// fills the per-graph caches); PrevDepth double-buffers the depths
+  /// for the incremental dirty diff.
+  TypeGraph::Topology GnTopo;
+  std::vector<uint32_t> PrevDepth;
+  std::vector<NodeId> OrAnc;
+  std::vector<uint32_t> BfsPos, Pf;
+  /// Dirty-region propagation: structurally touched nodes, reverse-CSR
+  /// adjacency, epoch-marked node sets.
+  std::vector<NodeId> DirtyStruct, Worklist;
+  std::vector<uint32_t> PredOff, PredDat, CsrFill;
+  std::vector<uint64_t> NodeMark, ReachMark;
+  uint64_t NodeEpoch = 0, ReachEpoch = 0;
+  std::vector<NodeId> StartBuf; ///< collapsing-union start vertices
+  std::vector<uint32_t> PairWork;
+
+  uint64_t beginNodeEpoch(size_t N) {
+    if (NodeMark.size() < N)
+      NodeMark.resize(N, 0);
+    return ++NodeEpoch;
+  }
+  uint64_t beginReachEpoch(size_t N) {
+    if (ReachMark.size() < N)
+      ReachMark.resize(N, 0);
+    return ++ReachEpoch;
+  }
+};
+
+namespace detail {
+/// The thread-local fallback for callers that do not own a scratch.
+WideningScratch &wideningScratchOr(WideningScratch *WS);
+} // namespace detail
+
 /// True if Cc(G1) is a subset of Cc(G2).
 bool graphIncludes(const TypeGraph &G2, const TypeGraph &G1,
-                   const SymbolTable &Syms);
+                   const SymbolTable &Syms, WideningScratch *WS = nullptr);
 
 /// True if the denotation of vertex \p V1 of \p G1 is included in the
 /// denotation of vertex \p V2 of \p G2. \p G1 and \p G2 may alias (the
 /// widening compares vertices of one graph).
 bool vertexIncludes(const TypeGraph &G2, NodeId V2, const TypeGraph &G1,
-                    NodeId V1, const SymbolTable &Syms);
+                    NodeId V1, const SymbolTable &Syms,
+                    WideningScratch *WS = nullptr);
 
 /// Semantic equality (inclusion both ways).
 bool graphEquals(const TypeGraph &A, const TypeGraph &B,
-                 const SymbolTable &Syms);
+                 const SymbolTable &Syms, WideningScratch *WS = nullptr);
 
 /// Returns a normalized G3 with Cc(G1) ∩ Cc(G2) ⊆ Cc(G3) (exact except
 /// when a cap fires).
 TypeGraph graphIntersect(const TypeGraph &G1, const TypeGraph &G2,
                          const SymbolTable &Syms,
                          const NormalizeOptions &Opts = {},
-                         NormalizeScratch *Scratch = nullptr);
+                         NormalizeScratch *Scratch = nullptr,
+                         WideningScratch *WS = nullptr);
 
 /// Returns a normalized G3 with Cc(G1) ∪ Cc(G2) ⊆ Cc(G3).
 TypeGraph graphUnion(const TypeGraph &G1, const TypeGraph &G2,

@@ -296,6 +296,15 @@ protected:
     auto &NextIds = Scratch.NextBlocks;
     std::vector<uint64_t> &Sig = Scratch.SigBuf;
     BlockIds.clear();
+    // Transparent probe-then-copy: the signature buffer is only
+    // materialized into the table for genuinely new blocks.
+    auto BlockFor = [&Sig](auto &Ids) {
+      auto It = Ids.find(U64View{Sig.data(), Sig.size()});
+      if (It != Ids.end())
+        return It->second;
+      return Ids.emplace(Sig, static_cast<uint32_t>(Ids.size()))
+          .first->second;
+    };
     // Initial partition: by (IsAny, HasInt, functor list).
     std::vector<uint32_t> Block(States.size(), 0);
     for (size_t I = 0; I != States.size(); ++I) {
@@ -305,9 +314,7 @@ protected:
       Sig.push_back(S.HasInt ? 1 : 0);
       for (const auto &[Fn, Args] : S.Trans)
         Sig.push_back(Fn);
-      auto [It, Inserted] =
-          BlockIds.emplace(Sig, static_cast<uint32_t>(BlockIds.size()));
-      Block[I] = It->second;
+      Block[I] = BlockFor(BlockIds);
     }
     // Refine until stable.
     std::vector<uint32_t> Next(States.size(), 0);
@@ -321,9 +328,7 @@ protected:
           for (uint32_t A : Args)
             Sig.push_back(Block[A]);
         }
-        auto [It, Inserted] =
-            NextIds.emplace(Sig, static_cast<uint32_t>(NextIds.size()));
-        Next[I] = It->second;
+        Next[I] = BlockFor(NextIds);
       }
       bool Stable = NextIds.size() == BlockIds.size();
       Block.swap(Next);

@@ -77,10 +77,16 @@ public:
   /// Closure-key assembly buffer (closureKey output before dedup-copy).
   std::vector<NodeId> KeyBuf;
   /// Minimizer: signature buffer and the two partition tables, reused so
-  /// the bucket arrays survive across calls.
+  /// the bucket arrays survive across calls. Transparent (U64View)
+  /// lookups: a state whose signature block already exists costs a probe,
+  /// not a vector materialization.
+  std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash,
+                     U64VectorEq>
+      Blocks;
+  std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash,
+                     U64VectorEq>
+      NextBlocks;
   std::vector<uint64_t> SigBuf;
-  std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash> Blocks;
-  std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash> NextBlocks;
 
 private:
   std::vector<uint64_t> SeenMark;

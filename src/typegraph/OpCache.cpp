@@ -27,7 +27,8 @@ bool OpCache::includes(const TypeGraph &Big, const TypeGraph &Small) {
     return It->second != 0;
   }
   ++St.Misses;
-  bool Result = graphIncludes(Interned.graph(B), Interned.graph(S), Syms);
+  bool Result =
+      graphIncludes(Interned.graph(B), Interned.graph(S), Syms, &WScratch);
   Incl.emplace(Key, Result ? 1 : 0);
   return Result;
 }
@@ -35,6 +36,14 @@ bool OpCache::includes(const TypeGraph &Big, const TypeGraph &Small) {
 TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
   CanonId IA = Interned.intern(A);
   CanonId IB = Interned.intern(B);
+  // X U X = X — but only a *certified* canonical graph is known to be a
+  // fixed point of re-normalization (a MaxNodes/MaxDepth truncation
+  // withholds the certificate precisely because it breaks idempotence),
+  // so an uncertified operand falls through to the historic compute.
+  if (IA == IB && certified(IA)) {
+    ++St.Hits;
+    return Interned.graph(IA);
+  }
   auto Key = std::make_pair(std::min(IA, IB), std::max(IA, IB));
   if (Shared) {
     auto It = Shared->Union.find(Key);
@@ -49,6 +58,24 @@ TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
     return Interned.graph(It->second);
   }
   ++St.Misses;
+  // Inclusion fast path: when one language contains the other, the
+  // union *is* the container — determinize/minimize are functions of
+  // the operand language, and the container's certificate proves its
+  // canonical unfold fits the bounds, so the computed union would
+  // reproduce the container bit-for-bit and intern to exactly its id.
+  // (Without the certificate a MaxNodes/MaxDepth truncation could fire
+  // on the recomputation and over-approximate; the guard keeps the
+  // shortcut unobservable in every configuration.) The inclusion checks
+  // are memoized product walks, far cheaper than determinize + minimize
+  // + unfold, and the recorded memo makes the next lookup a plain hit.
+  if (certified(IA) && includes(Interned.graph(IA), Interned.graph(IB))) {
+    Union.emplace(Key, IA);
+    return Interned.graph(IA);
+  }
+  if (certified(IB) && includes(Interned.graph(IB), Interned.graph(IA))) {
+    Union.emplace(Key, IB);
+    return Interned.graph(IB);
+  }
   CanonId R = Interned.intern(graphUnion(Interned.graph(IA),
                                          Interned.graph(IB), Syms, Norm,
                                          &Scratch));
@@ -59,6 +86,10 @@ TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
 TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
   CanonId IA = Interned.intern(A);
   CanonId IB = Interned.intern(B);
+  if (IA == IB && certified(IA)) { // X /\ X = X (see unionOf)
+    ++St.Hits;
+    return Interned.graph(IA);
+  }
   auto Key = std::make_pair(std::min(IA, IB), std::max(IA, IB));
   if (Shared) {
     auto It = Shared->Inter.find(Key);
@@ -73,9 +104,20 @@ TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
     return Interned.graph(It->second);
   }
   ++St.Misses;
+  // Inclusion fast path (see unionOf): the intersection with a
+  // containing language is the contained operand itself — guarded on
+  // the *returned* operand's certificate for the same reason.
+  if (certified(IB) && includes(Interned.graph(IA), Interned.graph(IB))) {
+    Inter.emplace(Key, IB);
+    return Interned.graph(IB);
+  }
+  if (certified(IA) && includes(Interned.graph(IB), Interned.graph(IA))) {
+    Inter.emplace(Key, IA);
+    return Interned.graph(IA);
+  }
   CanonId R = Interned.intern(graphIntersect(Interned.graph(IA),
                                              Interned.graph(IB), Syms, Norm,
-                                             &Scratch));
+                                             &Scratch, &WScratch));
   Inter.emplace(Key, R);
   return Interned.graph(R);
 }
@@ -85,6 +127,12 @@ TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
                            WideningStats *WStats) {
   CanonId IO = Interned.intern(Old);
   CanonId IN = Interned.intern(New);
+  if (IO == IN) { // X <= X, so X V X = X (the includes() fast path)
+    ++St.Hits;
+    if (WStats)
+      ++WStats->Invocations;
+    return Interned.graph(IO);
+  }
   auto Key = std::make_pair(IO, IN); // widening is not commutative
   if (Shared) {
     auto It = Shared->Widen.find(Key);
@@ -103,9 +151,20 @@ TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
     return Interned.graph(It->second);
   }
   ++St.Misses;
-  CanonId R = Interned.intern(graphWiden(Interned.graph(IO),
-                                         Interned.graph(IN), Syms, Opts,
-                                         WStats, &Scratch));
+  // Inclusion fast path: graphWiden's first step returns Old when New
+  // is already included; routing the check through the memoized
+  // includes() lets repeated no-op widenings skip the uncached walk.
+  // When it is refuted, the NotIncluded entry point skips graphWiden's
+  // own entry check so the product walk is not repeated.
+  if (includes(Interned.graph(IO), Interned.graph(IN))) {
+    if (WStats)
+      ++WStats->Invocations;
+    Widen.emplace(Key, IO);
+    return Interned.graph(IO);
+  }
+  CanonId R = Interned.intern(detail::graphWidenNotIncluded(
+      Interned.graph(IO), Interned.graph(IN), Syms, Opts, WStats, &Scratch,
+      &WScratch));
   Widen.emplace(Key, R);
   return Interned.graph(R);
 }
@@ -173,7 +232,31 @@ TypeGraph OpCache::constructOf(FunctorId Fn,
 
 std::shared_ptr<const FrozenOpTier> OpCache::freeze() const {
   auto T = std::make_shared<FrozenOpTier>();
+
+  // Pf pre-pass: make sure every pf-set a widening over a tier graph
+  // could ask for — i.e. every or-vertex pf-set of every canonical
+  // graph — is interned before the pf tier is frozen. (Interning is the
+  // side effect; the topology caches built here on *private* canon
+  // graphs are a bonus for the rest of this cache's lifetime.)
+  for (CanonId Id = 0; Id != Interned.size(); ++Id)
+    Interned.graph(Id).topology(Syms, WScratch.PfSets);
+  T->Pf = WScratch.PfSets.freeze();
+
   T->Intern = Interned.freeze();
+  // Prime every canonical graph's topology cache against the *frozen*
+  // pf tier: the pre-pass guarantees every lookup hits the tier, so the
+  // caches are tagged with the tier's epoch and are valid under every
+  // worker interner layered over it — concurrent widenings never write.
+  {
+    PfSetInterner Primer(T->Pf);
+    for (CanonId Id = 0; Id != T->Intern->size(); ++Id) {
+      const TypeGraph &G = T->Intern->Canon[Id];
+      G.topology(Syms, Primer);
+      assert(Primer.honorsEpoch(G.topoCacheIfPresent()->PfEpoch) &&
+             G.topoCacheIfPresent()->PfEpoch == T->Pf->Epoch &&
+             "frozen graph topology must be tier-tagged");
+    }
+  }
   T->Norm = Norm;
   // Merge: the shared tier's results first, then the private delta. Keys
   // never conflict on semantics (both tiers record the same pure

@@ -71,6 +71,12 @@ struct RestrictMemo {
 /// widening configuration matches the one the source cache ran with.
 struct FrozenOpTier {
   std::shared_ptr<const FrozenInternTier> Intern;
+  /// Frozen pf-set tier (support/PfSetInterner.h). Every pf-set of every
+  /// canonical graph in Intern is recorded here, and every canonical
+  /// graph's topology cache is primed against it at freeze() time under
+  /// this tier's epoch — so concurrent widenings over tier graphs are
+  /// pure reads.
+  std::shared_ptr<const FrozenPfTier> Pf;
   NormalizeOptions Norm;
   std::unordered_map<std::pair<CanonId, CanonId>, uint8_t, PairHash> Incl;
   std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Union;
@@ -93,8 +99,8 @@ public:
   OpCache(const SymbolTable &Syms, const NormalizeOptions &Norm,
           std::shared_ptr<const FrozenOpTier> SharedTier = nullptr)
       : Shared(std::move(SharedTier)),
-        Interned(Syms, Shared ? Shared->Intern : nullptr), Syms(Syms),
-        Norm(Norm) {}
+        Interned(Syms, Shared ? Shared->Intern : nullptr),
+        WScratch(Shared ? Shared->Pf : nullptr), Syms(Syms), Norm(Norm) {}
 
   /// True if Cc(Small) is a subset of Cc(Big).
   bool includes(const TypeGraph &Big, const TypeGraph &Small);
@@ -125,6 +131,11 @@ public:
 
   GraphInterner &interner() { return Interned; }
   const GraphInterner &interner() const { return Interned; }
+  /// The analysis' pf-set interner (lives in the widening scratch,
+  /// layered over the shared tier's frozen pf sets when one is given).
+  PfSetInterner &pfSets() { return WScratch.PfSets; }
+  const PfSetStats &pfStats() const { return WScratch.PfSets.stats(); }
+  WideningScratch &wideningScratch() { return WScratch; }
   const FrozenOpTier *sharedTier() const { return Shared.get(); }
   const OpCacheStats &stats() const { return St; }
 
@@ -133,10 +144,23 @@ public:
   std::shared_ptr<const FrozenOpTier> freeze() const;
 
 private:
+  /// True if \p Id's canonical graph carries a normalization certificate
+  /// for this cache's options — the precondition of the equality and
+  /// inclusion fast paths (re-normalizing a certified graph reproduces
+  /// it bit-for-bit; an uncertified one may have been truncated).
+  bool certified(CanonId Id) const {
+    return Interned.graph(Id).isNormalizedFor(Norm.OrCap, Norm.MaxNodes,
+                                              Norm.MaxDepth);
+  }
+
   /// Read-only shared tier (may be null). Declared before the interner:
   /// the interner is constructed over the tier's intern layer.
   std::shared_ptr<const FrozenOpTier> Shared;
   GraphInterner Interned;
+  /// Widening/pairwise-op scratch (owns the pf-set interner, layered
+  /// over the shared tier's frozen pf sets). Mutable so the const
+  /// freeze() can run the pf pre-pass through it.
+  mutable WideningScratch WScratch;
   const SymbolTable &Syms;
   NormalizeOptions Norm;
   /// Scratch buffers handed to every underlying graph operation, so the

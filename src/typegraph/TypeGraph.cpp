@@ -3,6 +3,8 @@
 #include "typegraph/TypeGraph.h"
 
 #include "support/Debug.h"
+#include "support/GraphInterner.h" // structuralHash, for the cachesFresh audit
+#include "support/PfSetInterner.h"
 
 #include <algorithm>
 #include <set>
@@ -11,26 +13,30 @@ using namespace gaia;
 
 NodeId TypeGraph::addAny() {
   invalidateDerived();
-  Nodes.push_back(TGNode{NodeKind::Any, InvalidFunctor, {}});
-  return static_cast<NodeId>(Nodes.size() - 1);
+  std::vector<TGNode> &Ns = mutableNodes();
+  Ns.push_back(TGNode{NodeKind::Any, InvalidFunctor, {}});
+  return static_cast<NodeId>(Ns.size() - 1);
 }
 
 NodeId TypeGraph::addInt() {
   invalidateDerived();
-  Nodes.push_back(TGNode{NodeKind::Int, InvalidFunctor, {}});
-  return static_cast<NodeId>(Nodes.size() - 1);
+  std::vector<TGNode> &Ns = mutableNodes();
+  Ns.push_back(TGNode{NodeKind::Int, InvalidFunctor, {}});
+  return static_cast<NodeId>(Ns.size() - 1);
 }
 
 NodeId TypeGraph::addFunc(FunctorId Fn, SuccList Args) {
   invalidateDerived();
-  Nodes.push_back(TGNode{NodeKind::Func, Fn, std::move(Args)});
-  return static_cast<NodeId>(Nodes.size() - 1);
+  std::vector<TGNode> &Ns = mutableNodes();
+  Ns.push_back(TGNode{NodeKind::Func, Fn, std::move(Args)});
+  return static_cast<NodeId>(Ns.size() - 1);
 }
 
 NodeId TypeGraph::addOr(SuccList Alts) {
   invalidateDerived();
-  Nodes.push_back(TGNode{NodeKind::Or, InvalidFunctor, std::move(Alts)});
-  return static_cast<NodeId>(Nodes.size() - 1);
+  std::vector<TGNode> &Ns = mutableNodes();
+  Ns.push_back(TGNode{NodeKind::Or, InvalidFunctor, std::move(Alts)});
+  return static_cast<NodeId>(Ns.size() - 1);
 }
 
 TypeGraph TypeGraph::makeBottom() {
@@ -92,18 +98,19 @@ TypeGraph TypeGraph::makeAnyList(SymbolTable &Syms) {
 
 TypeGraph::Topology TypeGraph::computeTopology() const {
   Topology T;
-  T.Depth.assign(Nodes.size(), 0);
-  T.Parent.assign(Nodes.size(), InvalidNode);
+  T.Depth.assign(numNodes(), 0);
+  T.Parent.assign(numNodes(), InvalidNode);
   if (RootId == InvalidNode)
     return T;
+  const std::vector<TGNode> &Ns = *NodesP;
   // BfsOrder doubles as the BFS queue: nodes are appended once and
   // scanned once, avoiding a separate deque allocation.
-  T.BfsOrder.reserve(Nodes.size());
+  T.BfsOrder.reserve(Ns.size());
   T.BfsOrder.push_back(RootId);
   T.Depth[RootId] = 1;
   for (size_t Head = 0; Head != T.BfsOrder.size(); ++Head) {
     NodeId V = T.BfsOrder[Head];
-    for (NodeId S : Nodes[V].Succs) {
+    for (NodeId S : Ns[V].Succs) {
       if (T.Depth[S] != 0)
         continue;
       T.Depth[S] = T.Depth[V] + 1;
@@ -112,6 +119,118 @@ TypeGraph::Topology TypeGraph::computeTopology() const {
     }
   }
   return T;
+}
+
+bool TypeGraph::fillTopology(const SymbolTable &Syms, PfSetInterner &Pf,
+                             Topology &T, std::vector<uint32_t> &BfsPos,
+                             std::vector<NodeId> &OrAnc,
+                             std::vector<uint32_t> &PfIds) const {
+  uint32_t N = numNodes();
+  T.Depth.assign(N, 0);
+  T.Parent.assign(N, InvalidNode);
+  T.BfsOrder.clear();
+  BfsPos.assign(N, ~0u);
+  OrAnc.assign(N, InvalidNode);
+  PfIds.assign(N, InvalidPfSet);
+  bool AllShared = Pf.sharedSize() != 0;
+  if (RootId == InvalidNode)
+    return AllShared;
+  T.BfsOrder.reserve(N);
+  T.BfsOrder.push_back(RootId);
+  T.Depth[RootId] = 1;
+  for (size_t Head = 0; Head != T.BfsOrder.size(); ++Head) {
+    NodeId V = T.BfsOrder[Head];
+    for (NodeId S : node(V).Succs) {
+      if (T.Depth[S] != 0)
+        continue;
+      T.Depth[S] = T.Depth[V] + 1;
+      T.Parent[S] = V;
+      T.BfsOrder.push_back(S);
+    }
+  }
+  SmallVector<FunctorId, 8> Buf;
+  for (size_t I = 0; I != T.BfsOrder.size(); ++I) {
+    NodeId V = T.BfsOrder[I];
+    BfsPos[V] = static_cast<uint32_t>(I);
+    const TGNode &Nd = node(V);
+    // Nearest strict or-ancestor: the tree parent if it is an or-vertex,
+    // else the parent's own nearest or-ancestor (parents precede their
+    // children in BFS order).
+    NodeId P = T.Parent[V];
+    if (P != InvalidNode)
+      OrAnc[V] = node(P).Kind == NodeKind::Or ? P : OrAnc[P];
+    if (Nd.Kind != NodeKind::Or)
+      continue;
+    Buf.clear();
+    for (NodeId S : Nd.Succs) {
+      const TGNode &SN = node(S);
+      if (SN.Kind == NodeKind::Func)
+        Buf.push_back(SN.Fn);
+      else if (SN.Kind == NodeKind::Int)
+        Buf.push_back(Syms.intFunctor());
+    }
+    std::sort(Buf.begin(), Buf.end());
+    Buf.erase(std::unique(Buf.begin(), Buf.end()), Buf.end());
+    PfIds[V] = Pf.intern(Buf.data(), Buf.size());
+    AllShared = AllShared && PfIds[V] < Pf.sharedSize();
+  }
+  return AllShared;
+}
+
+const TypeGraph::TopoCache &TypeGraph::topology(const SymbolTable &Syms,
+                                                PfSetInterner &Pf) const {
+  if (Topo && Pf.honorsEpoch(Topo->PfEpoch))
+    return *Topo;
+  // Build a fresh immutable snapshot and swap the pointer: the old
+  // pointee (if any) may be shared with copies of this value and must
+  // not be written. Frozen shared-tier graphs have their snapshot
+  // precomputed under the tier's pf epoch at freeze time, so concurrent
+  // readers never reach this rebuild path.
+  auto C = std::make_shared<TopoCache>();
+  bool AllShared =
+      fillTopology(Syms, Pf, C->Topo, C->BfsPos, C->OrAnc, C->Pf);
+  // Tag with the frozen tier's epoch when every pf id lives in the tier:
+  // the cache is then valid under *every* interner layered over that
+  // tier, which is what lets OpCache::freeze prime one snapshot per
+  // canonical graph for all concurrent workers.
+  C->PfEpoch = AllShared ? Pf.sharedEpoch() : Pf.epoch();
+  Topo = std::move(C);
+  return *Topo;
+}
+
+bool TypeGraph::cachesFresh(const SymbolTable &Syms, std::string *Why) const {
+  auto Fail = [&](const char *Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (Topo) {
+    Topology Fresh = computeTopology();
+    if (Fresh.Depth != Topo->Topo.Depth || Fresh.Parent != Topo->Topo.Parent ||
+        Fresh.BfsOrder != Topo->Topo.BfsOrder)
+      return Fail("stale topology cache (BFS disagrees)");
+    for (size_t I = 0; I != Fresh.BfsOrder.size(); ++I)
+      if (Topo->BfsPos[Fresh.BfsOrder[I]] != I)
+        return Fail("stale topology cache (BfsPos disagrees)");
+    for (NodeId V : Fresh.BfsOrder) {
+      bool IsOr = node(V).Kind == NodeKind::Or;
+      if (IsOr != (Topo->Pf[V] != InvalidPfSet))
+        return Fail("stale topology cache (pf-set id shape disagrees)");
+    }
+  }
+  if (SigValid) {
+    // Recompute through the real structuralHash on an uncached twin
+    // (copy-on-write makes the copy a refcount bump; setRoot drops its
+    // caches without touching the shared nodes), so the audit can never
+    // drift from the production hash.
+    TypeGraph Twin = *this;
+    Twin.setRoot(RootId);
+    if (structuralHash(Twin) != Sig)
+      return Fail("stale structural signature");
+  }
+  if (NormValid && !validate(Syms))
+    return Fail("normalization certificate on an invalid graph");
+  return true;
 }
 
 std::vector<FunctorId> TypeGraph::pfSet(NodeId Id,
@@ -172,13 +291,13 @@ void TypeGraph::sortOrSuccessors(const SymbolTable &Syms) {
   // rank order is exactly the (name, arity) order SuccOrder defines, so
   // the result is identical to sorting with string comparisons.
   auto KeyOf = [&](NodeId Id) -> uint64_t {
-    const TGNode &N = Nodes[Id];
+    const TGNode &N = node(Id);
     if (N.Kind == NodeKind::Any)
       return 0;
     FunctorId Fn = N.Kind == NodeKind::Int ? Syms.intFunctor() : N.Fn;
     return 1 + static_cast<uint64_t>(Syms.functorRank(Fn));
   };
-  for (TGNode &N : Nodes) {
+  for (TGNode &N : mutableNodes()) {
     if (N.Kind != NodeKind::Or || N.Succs.size() < 2)
       continue;
     std::stable_sort(N.Succs.begin(), N.Succs.end(),
@@ -191,10 +310,14 @@ TypeGraph TypeGraph::compact() const {
   TypeGraph Out;
   if (RootId == InvalidNode)
     return makeBottom();
-  Topology T = computeTopology();
-  std::vector<NodeId> Remap(Nodes.size(), InvalidNode);
+  Topology Fresh;
+  if (!Topo)
+    Fresh = computeTopology();
+  const Topology &T = Topo ? Topo->Topo : Fresh;
+  Out.reserveNodes(static_cast<uint32_t>(T.BfsOrder.size()));
+  std::vector<NodeId> Remap(numNodes(), InvalidNode);
   for (NodeId V : T.BfsOrder) {
-    const TGNode &N = Nodes[V];
+    const TGNode &N = node(V);
     switch (N.Kind) {
     case NodeKind::Any:
       Remap[V] = Out.addAny();
@@ -212,8 +335,8 @@ TypeGraph TypeGraph::compact() const {
   }
   for (NodeId V : T.BfsOrder) {
     SuccList NewSuccs;
-    NewSuccs.reserve(Nodes[V].Succs.size());
-    for (NodeId S : Nodes[V].Succs) {
+    NewSuccs.reserve(node(V).Succs.size());
+    for (NodeId S : node(V).Succs) {
       assert(Remap[S] != InvalidNode && "successor of reachable node "
                                         "must be reachable");
       NewSuccs.push_back(Remap[S]);
@@ -227,10 +350,18 @@ TypeGraph TypeGraph::compact() const {
 uint64_t TypeGraph::sizeMetric() const {
   if (RootId == InvalidNode)
     return 0;
+  // Reuse the topology snapshot when one is cached (the widening asks
+  // for sizes between transforms, where the snapshot is already hot).
+  if (Topo) {
+    uint64_t Size = 0;
+    for (NodeId V : Topo->Topo.BfsOrder)
+      Size += 1 + node(V).Succs.size();
+    return Size;
+  }
   Topology T = computeTopology();
   uint64_t Size = 0;
   for (NodeId V : T.BfsOrder)
-    Size += 1 + Nodes[V].Succs.size();
+    Size += 1 + node(V).Succs.size();
   return Size;
 }
 

@@ -19,11 +19,18 @@
 ///   `normalizeGraph` (typegraph/Normalize.h) re-establishes them.
 ///
 /// Graphs are value types: nodes live in a vector and refer to each other
-/// by dense 32-bit ids, so copying is a vector copy and no manual memory
-/// management is needed (the awkward part of the original C system).
-/// Successor lists use inline small-buffer storage (or- and functor-arity
-/// is almost always <= 2 on the Section 9 programs), so copying a graph
-/// performs one allocation for the node vector instead of one per vertex.
+/// by dense 32-bit ids, so no manual memory management is needed (the
+/// awkward part of the original C system). Successor lists use inline
+/// small-buffer storage (or- and functor-arity is almost always <= 2 on
+/// the Section 9 programs). The node vector itself is *copy-on-write*:
+/// copying a graph bumps a reference count, and the first mutation of a
+/// shared graph detaches a private clone. The analysis engine moves
+/// thousands of graph values per clause iteration (substitution frames,
+/// memo tables, cache lookups returning canonical representatives), and
+/// virtually none of them are ever mutated — under COW they all share
+/// one allocation. Mutation detaches, so values keep value semantics;
+/// concurrently shared frozen-tier graphs are never mutated in place
+/// (a worker's copy detaches before writing).
 ///
 /// A graph additionally carries *derived-result caches* that mutation
 /// invalidates and copies preserve:
@@ -33,7 +40,12 @@
 ///   - the BFS-structural signature (`support/GraphInterner.h`), so
 ///     hash-consing the same value repeatedly does not re-walk the graph;
 ///   - the interner's (epoch, canonical id) pair, making repeat interning
-///     of a cached value O(1).
+///     of a cached value O(1);
+///   - a *topology cache* (`topology`): BFS depth/parent/order, nearest
+///     or-ancestor links, and one interned pf-set id per vertex
+///     (support/PfSetInterner.h), so the Section 7 widening — which used
+///     to rebuild all of this on every call — reuses one immutable
+///     snapshot shared by every copy of the value.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,10 +57,13 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace gaia {
+
+class PfSetInterner; // support/PfSetInterner.h
 
 /// Dense id of a vertex inside one TypeGraph.
 using NodeId = uint32_t;
@@ -94,25 +109,36 @@ public:
   NodeId root() const { return RootId; }
 
   const TGNode &node(NodeId Id) const {
-    assert(Id < Nodes.size() && "node id out of range");
-    return Nodes[Id];
+    assert(NodesP && Id < NodesP->size() && "node id out of range");
+    return (*NodesP)[Id];
   }
   /// Mutable vertex access. Conservatively drops the derived-result
-  /// caches: callers that take a mutable reference are editing structure.
+  /// caches, and detaches the node storage if it is shared with other
+  /// values: callers that take a mutable reference are editing
+  /// structure. The reference is invalidated by any later mutation of
+  /// the graph (detach or growth) — do not hold it across one.
   TGNode &node(NodeId Id) {
-    assert(Id < Nodes.size() && "node id out of range");
+    assert(NodesP && Id < NodesP->size() && "node id out of range");
     invalidateDerived();
-    return Nodes[Id];
+    return mutableNodes()[Id];
   }
 
-  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+  uint32_t numNodes() const {
+    return NodesP ? static_cast<uint32_t>(NodesP->size()) : 0;
+  }
+
+  /// Reserves storage for \p N vertices (does not invalidate caches;
+  /// detaches shared storage).
+  void reserveNodes(uint32_t N) { mutableNodes().reserve(N); }
 
   /// True if the graph denotes the empty set *syntactically*: the root is
   /// an or-vertex without successors. (The paper forbids empty or-vertices;
   /// we use exactly one, the root of the canonical bottom graph.)
   bool isBottomGraph() const {
-    return RootId == InvalidNode ||
-           (node(RootId).Kind == NodeKind::Or && node(RootId).Succs.empty());
+    if (RootId == InvalidNode)
+      return true;
+    const TGNode &Root = node(RootId);
+    return Root.Kind == NodeKind::Or && Root.Succs.empty();
   }
 
   /// The canonical empty graph.
@@ -137,6 +163,46 @@ public:
     std::vector<NodeId> BfsOrder;
   };
   Topology computeTopology() const;
+
+  /// The mutation-invalidated, copy-preserved topology snapshot used by
+  /// the widening fast path: the BFS topology plus, per vertex, the BFS
+  /// position (the canonical ordering compact() numbers by), the nearest
+  /// strict or-ancestor along BFS-tree parents, and the interned pf-set
+  /// id (or-vertices only; InvalidPfSet elsewhere). PfEpoch tags which
+  /// interner the ids belong to.
+  struct TopoCache {
+    Topology Topo;
+    /// Node -> position in Topo.BfsOrder (~0u for unreachable nodes).
+    std::vector<uint32_t> BfsPos;
+    /// Node -> nearest strict or-vertex ancestor via tree parents
+    /// (InvalidNode at the root / for unreachable nodes).
+    std::vector<NodeId> OrAnc;
+    /// Node -> interned pf-set id; InvalidPfSet for non-or vertices.
+    std::vector<uint32_t> Pf;
+    uint64_t PfEpoch = 0;
+  };
+
+  /// Returns the cached topology, building it on first use (or when the
+  /// cached pf-set ids belong to an interner \p Pf does not honor). The
+  /// snapshot is immutable and shared by copies of this value, so
+  /// rebuilds replace the pointer — they never mutate the pointee, which
+  /// concurrent readers of a frozen shared tier may hold.
+  const TopoCache &topology(const SymbolTable &Syms, PfSetInterner &Pf) const;
+
+  /// The cached topology if one is present (for readers that can cope
+  /// with a miss, e.g. sizeMetric), else null.
+  const TopoCache *topoCacheIfPresent() const { return Topo.get(); }
+
+  /// The one implementation of the BFS + or-ancestor + pf-set assembly,
+  /// shared by topology() (filling the per-graph cache) and the
+  /// widening's scratch arrays (typegraph/Widening.cpp) — the two sides
+  /// of the correspondence walk must compute these identically, so they
+  /// must not have separate copies that can drift. Returns true if
+  /// every interned pf id lies in \p Pf's shared tier.
+  bool fillTopology(const SymbolTable &Syms, PfSetInterner &Pf,
+                    Topology &Topo, std::vector<uint32_t> &BfsPos,
+                    std::vector<NodeId> &OrAnc,
+                    std::vector<uint32_t> &PfIds) const;
 
   /// Principal-functor set of a vertex (paper Section 6.3): functors of the
   /// functor-successors of an or-vertex, {f} for a functor-vertex f, and
@@ -217,14 +283,46 @@ public:
     InternId = Id;
   }
 
+  /// Debug-mode staleness audit: recomputes every derived cache this
+  /// graph currently carries and checks it against the stored value (the
+  /// structural signature against a fresh BFS hash, the topology cache
+  /// against a fresh BFS, the normalization certificate against
+  /// validate()). A mutator that forgot to invalidate shows up here as a
+  /// loud failure instead of a wrong canonical id. Returns false and
+  /// fills \p Why on mismatch.
+  bool cachesFresh(const SymbolTable &Syms, std::string *Why = nullptr) const;
+  void assertCachesFresh(const SymbolTable &Syms) const {
+#ifndef NDEBUG
+    std::string Why;
+    assert(cachesFresh(Syms, &Why) && "stale derived cache");
+#else
+    (void)Syms;
+#endif
+  }
+
 private:
   void invalidateDerived() {
     NormValid = false;
     SigValid = false;
     InternEpoch = 0;
+    Topo.reset();
   }
 
-  std::vector<TGNode> Nodes;
+  /// Copy-on-write access to the node storage: detaches a private clone
+  /// when the vector is shared with other graph values. use_count() == 1
+  /// guarantees sole ownership, so in-place mutation is safe even when
+  /// other threads hold *other* graphs (they share only via copies,
+  /// which detach before writing on their side).
+  std::vector<TGNode> &mutableNodes() {
+    if (!NodesP)
+      NodesP = std::make_shared<std::vector<TGNode>>();
+    else if (NodesP.use_count() > 1)
+      NodesP = std::make_shared<std::vector<TGNode>>(*NodesP);
+    return *NodesP;
+  }
+
+  /// Shared node storage (null for the default-constructed empty graph).
+  std::shared_ptr<std::vector<TGNode>> NodesP;
   NodeId RootId = InvalidNode;
 
   /// Normalization certificate.
@@ -240,6 +338,9 @@ private:
   mutable uint64_t Sig = 0;
   mutable uint64_t InternEpoch = 0;
   mutable uint32_t InternId = 0;
+  /// Topology snapshot (mutable: filled through const lookups; the
+  /// pointee is immutable, copies share it).
+  mutable std::shared_ptr<const TopoCache> Topo;
 };
 
 /// Key used when comparing or-successors and pf-sets: orders functors by

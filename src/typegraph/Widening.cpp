@@ -1,4 +1,29 @@
 //===- typegraph/Widening.cpp ----------------------------------------------=//
+///
+/// Scratch-based implementation of the Section 7 widening. The transform
+/// loop runs entirely on caller-owned WideningScratch buffers:
+///
+///   - the old graph's topology (depths, parents, or-ancestors, interned
+///     pf-set ids) comes from its per-graph cache and is computed once
+///     per distinct value, not once per transform;
+///   - the evolving graph's topology lives in reusable scratch arrays,
+///     double-buffered so a transform's depth changes can be diffed;
+///   - pf-set comparisons are PfSetInterner id compares / mask-guarded
+///     subset walks, never vector materializations;
+///   - transforms mutate the graph in place (append + edge redirection)
+///     instead of copy + compact per step — compaction happens once, at
+///     the final normalization, which renumbers canonically anyway. All
+///     order-sensitive decisions are made on BFS positions, which are
+///     invariant under compaction, so the transform sequence is
+///     bit-identical to the historic copy-per-step implementation;
+///   - the correspondence re-walk after a transform is *incremental*: a
+///     pair whose cone held no clash in the previous walk and whose
+///     graph region is untouched (no structural edit, no depth change)
+///     is skipped wholesale. Dirty regions are found by diffing the
+///     double-buffered depths plus the edit sites, and propagated
+///     backwards over a reverse-CSR of the graph.
+///
+//===----------------------------------------------------------------------===//
 
 #include "typegraph/Widening.h"
 
@@ -7,98 +32,20 @@
 #include "typegraph/GraphOps.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 
 using namespace gaia;
 
 namespace {
 
-/// A topological clash: or-vertex Vo of the old graph corresponds to
-/// or-vertex Vn of the new graph but their pf-sets or depths differ
-/// (Definition 7.2, filtered to widening clashes by Definition 7.3).
-struct Clash {
-  NodeId Vo;
-  NodeId Vn;
-};
-
-static bool pfSubset(const std::vector<FunctorId> &A,
-                     const std::vector<FunctorId> &B) {
-  return std::includes(B.begin(), B.end(), A.begin(), A.end());
-}
-
-/// Computes the widening clashes WTC(Go, Gn) by walking the
-/// correspondence relation of Definition 7.1: descend through pairs of
-/// vertices as long as they agree on depth and pf-set; or-pairs that
-/// disagree are topological clashes.
-static std::vector<Clash> wideningClashes(const TypeGraph &Go,
-                                          const TypeGraph::Topology &TopoO,
-                                          const TypeGraph &Gn,
-                                          const TypeGraph::Topology &TopoN,
-                                          const SymbolTable &Syms) {
-  std::vector<Clash> Result;
-  std::unordered_set<std::pair<NodeId, NodeId>, PairHash> Visited;
-  std::deque<std::pair<NodeId, NodeId>> Queue;
-  Queue.emplace_back(Go.root(), Gn.root());
-  while (!Queue.empty()) {
-    auto [Vo, Vn] = Queue.front();
-    Queue.pop_front();
-    if (!Visited.insert({Vo, Vn}).second)
-      continue;
-    const TGNode &No = Go.node(Vo);
-    const TGNode &Nn = Gn.node(Vn);
-    if (No.Kind == NodeKind::Func && Nn.Kind == NodeKind::Func) {
-      assert(No.Fn == Nn.Fn && "corresponding functor vertices must agree");
-      for (size_t J = 0, E = No.Succs.size(); J != E; ++J)
-        Queue.emplace_back(No.Succs[J], Nn.Succs[J]);
-      continue;
-    }
-    if (No.Kind != NodeKind::Or || Nn.Kind != NodeKind::Or)
-      continue; // leaf pairs carry no information
-    bool SameDepth = TopoO.Depth[Vo] == TopoN.Depth[Vn];
-    std::vector<FunctorId> PfO = Go.pfSet(Vo, Syms);
-    std::vector<FunctorId> PfN = Gn.pfSet(Vn, Syms);
-    if (SameDepth && PfO == PfN) {
-      // Same pf-set plus sorted successors => positional correspondence.
-      // Beware Isolated-Any: both must be plain alternatives.
-      if (No.Succs.size() == Nn.Succs.size())
-        for (size_t J = 0, E = No.Succs.size(); J != E; ++J)
-          Queue.emplace_back(No.Succs[J], Nn.Succs[J]);
-      continue;
-    }
-    // Topological clash; keep it if it is a widening clash (Def 7.3).
-    if (PfN.empty())
-      continue;
-    bool PfClash = PfO != PfN && SameDepth;
-    bool DepthClash = TopoO.Depth[Vo] < TopoN.Depth[Vn];
-    if (PfClash || DepthClash)
-      Result.push_back({Vo, Vn});
-  }
-  // Deterministic processing order: shallow clash vertices first.
-  std::sort(Result.begin(), Result.end(), [&](const Clash &A, const Clash &B) {
-    if (TopoN.Depth[A.Vn] != TopoN.Depth[B.Vn])
-      return TopoN.Depth[A.Vn] < TopoN.Depth[B.Vn];
-    if (A.Vn != B.Vn)
-      return A.Vn < B.Vn;
-    return A.Vo < B.Vo;
-  });
-  return Result;
-}
-
-/// Walks the or-vertex ancestors of \p V (nearest first) via tree parents.
-static std::vector<NodeId> orAncestors(const TypeGraph &G,
-                                       const TypeGraph::Topology &Topo,
-                                       NodeId V) {
-  std::vector<NodeId> Result;
-  for (NodeId P = Topo.Parent[V]; P != InvalidNode; P = Topo.Parent[P])
-    if (G.node(P).Kind == NodeKind::Or)
-      Result.push_back(P);
-  return Result;
-}
+/// Per-pair walk flags (WideningScratch::Flags).
+constexpr uint8_t FlagClash = 1;      ///< pair is a widening clash
+constexpr uint8_t FlagReachClash = 2; ///< a clash is reachable from it
 
 /// Splices \p Rep in place of the subtree rooted at or-vertex \p Va.
 /// Implementation of detail::graftReplace; see the header comment there
-/// for why every incoming edge must be redirected.
+/// for why every incoming edge must be redirected. (The widening loop
+/// itself commits replacements in place; this copy-based variant remains
+/// the exported, independently testable specification of the edit.)
 static TypeGraph graftReplaceImpl(const TypeGraph &G, NodeId Va,
                                   const TypeGraph &Rep,
                                   const TypeGraph::Topology &Topo) {
@@ -121,73 +68,310 @@ static TypeGraph graftReplaceImpl(const TypeGraph &G, NodeId Va,
   return Out.compact();
 }
 
-/// One pass of the widen() loop: try the cycle introduction rule, then
-/// the replacement rule. Returns true if a transformation was applied
-/// (mutating \p Gn).
-static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
-                              const SymbolTable &Syms,
-                              const WideningOptions &Opts,
-                              WideningStats *Stats,
-                              NormalizeScratch *Scratch) {
-  TypeGraph::Topology TopoO = Go.computeTopology();
-  TypeGraph::Topology TopoN = Gn.computeTopology();
-  std::vector<Clash> Clashes = wideningClashes(Go, TopoO, Gn, TopoN, Syms);
-  if (Clashes.empty())
-    return false;
+/// One widening run: Gold fixed, Gn evolving under the transform rules.
+class WidenRun {
+public:
+  WidenRun(const TypeGraph &Go, TypeGraph &Gn, const SymbolTable &Syms,
+           const WideningOptions &Opts, WideningStats *Stats,
+           NormalizeScratch *NScratch, WideningScratch &W)
+      : Go(Go), Gn(Gn), CGn(Gn), Syms(Syms), Opts(Opts), Stats(Stats),
+        NScratch(NScratch), W(W), TopoO(Go.topology(Syms, W.PfSets)) {
+    // Forget any clean-cone state a previous widening left behind.
+    W.Clean.begin();
+  }
 
-  // Cycle introduction rule (Definition 7.4).
-  for (const Clash &C : Clashes) {
-    if (C.Vn == Gn.root())
-      continue; // no incoming edge to redirect
-    std::vector<FunctorId> PfN = Gn.pfSet(C.Vn, Syms);
-    for (NodeId Va : orAncestors(Gn, TopoN, C.Vn)) {
-      if (TopoO.Depth[C.Vo] < TopoN.Depth[Va])
-        continue;
-      std::vector<FunctorId> PfA = Gn.pfSet(Va, Syms);
-      if (!pfSubset(PfN, PfA))
-        continue;
-      if (!vertexIncludes(Gn, Va, Gn, C.Vn, Syms))
-        continue;
-      // Redirect the tree edge (parent(Vn), Vn) to Va.
-      NodeId Parent = TopoN.Parent[C.Vn];
-      for (NodeId &S : Gn.node(Parent).Succs)
-        if (S == C.Vn)
-          S = Va;
-      Gn = Gn.compact();
-      if (Stats)
-        ++Stats->CycleIntroductions;
-      return true;
+  /// One pass of the widen() loop: recompute (incrementally) the clash
+  /// relation, then try the cycle introduction rule and the replacement
+  /// rule. Returns true if a transformation was applied (mutating Gn).
+  bool applyOneTransform() {
+    buildGnTopo();
+    clashWalk();
+    if (W.Clashes.empty())
+      return false;
+    rebuildClean();
+    return cycleIntroduction() || replacement();
+  }
+
+private:
+  //===--------------------------------------------------------------------//
+  // Topology of the evolving graph, in scratch.
+  //===--------------------------------------------------------------------//
+
+  void buildGnTopo() {
+    // Keep last iteration's depths for the incremental dirty diff, then
+    // refill through the same helper that builds the per-graph caches.
+    W.PrevDepth.swap(W.GnTopo.Depth);
+    Gn.fillTopology(Syms, W.PfSets, W.GnTopo, W.BfsPos, W.OrAnc, W.Pf);
+  }
+
+  //===--------------------------------------------------------------------//
+  // Dirty-region propagation for the incremental re-walk.
+  //===--------------------------------------------------------------------//
+
+  /// Marks (in ReachMark/ReachEpoch) every vertex of Gn from which a
+  /// *dirty* vertex is reachable. Dirty = structurally edited by the last
+  /// transform, newly appended, or BFS depth changed (depth enters the
+  /// clash conditions, so a depth shift can surface clashes in a
+  /// structurally untouched cone).
+  void propagateDirty() {
+    uint32_t N = Gn.numNodes();
+    uint64_t Epoch = W.beginReachEpoch(N);
+    W.Worklist.clear();
+    auto Seed = [&](NodeId V) {
+      if (W.ReachMark[V] != Epoch) {
+        W.ReachMark[V] = Epoch;
+        W.Worklist.push_back(V);
+      }
+    };
+    uint32_t PrevN = static_cast<uint32_t>(W.PrevDepth.size());
+    for (NodeId V = 0; V != PrevN && V != N; ++V)
+      if (W.GnTopo.Depth[V] != W.PrevDepth[V])
+        Seed(V);
+    for (NodeId V = PrevN; V < N; ++V)
+      Seed(V);
+    for (NodeId V : W.DirtyStruct)
+      Seed(V);
+
+    // Reverse CSR over the reachable part of Gn.
+    W.PredOff.assign(N + 1, 0);
+    for (NodeId V : W.GnTopo.BfsOrder)
+      for (NodeId S : CGn.node(V).Succs)
+        ++W.PredOff[S + 1];
+    for (uint32_t I = 0; I != N; ++I)
+      W.PredOff[I + 1] += W.PredOff[I];
+    W.PredDat.resize(W.PredOff[N]);
+    W.CsrFill.assign(W.PredOff.begin(), W.PredOff.end() - 1);
+    for (NodeId V : W.GnTopo.BfsOrder)
+      for (NodeId S : CGn.node(V).Succs)
+        W.PredDat[W.CsrFill[S]++] = V;
+
+    while (!W.Worklist.empty()) {
+      NodeId V = W.Worklist.back();
+      W.Worklist.pop_back();
+      for (uint32_t I = W.PredOff[V], E = W.PredOff[V + 1]; I != E; ++I) {
+        NodeId P = W.PredDat[I];
+        if (W.ReachMark[P] != Epoch) {
+          W.ReachMark[P] = Epoch;
+          W.Worklist.push_back(P);
+        }
+      }
     }
   }
 
-  // Replacement rule (Definition 7.5).
-  for (const Clash &C : Clashes) {
-    std::vector<FunctorId> PfN = Gn.pfSet(C.Vn, Syms);
-    bool DepthClash = TopoO.Depth[C.Vo] < TopoN.Depth[C.Vn];
-    for (NodeId Va : orAncestors(Gn, TopoN, C.Vn)) {
-      if (TopoO.Depth[C.Vo] < TopoN.Depth[Va])
+  bool reachesDirty(NodeId V) const {
+    return W.ReachMark[V] == W.ReachEpoch;
+  }
+
+  //===--------------------------------------------------------------------//
+  // The correspondence walk (Definitions 7.1-7.3).
+  //===--------------------------------------------------------------------//
+
+  /// Walks the correspondence relation of Definition 7.1 from the roots,
+  /// collecting widening clashes into W.Clashes (sorted shallow-first in
+  /// the canonical BFS order). Pairs certified clash-free by the previous
+  /// walk whose Gn cone is untouched are skipped wholesale.
+  void clashWalk(bool AllowSkip = true) {
+    bool Skip = AllowSkip && HavePrev;
+    if (Skip)
+      propagateDirty();
+    W.WalkSeen.begin();
+    W.Pairs.clear();
+    W.Edges.clear();
+    W.Flags.clear();
+    W.Clashes.clear();
+    auto PairIndex = [&](NodeId Vo, NodeId Vn) {
+      auto [Val, Inserted] =
+          W.WalkSeen.insert(Vo, Vn, static_cast<uint32_t>(W.Pairs.size()));
+      if (Inserted) {
+        W.Pairs.emplace_back(Vo, Vn);
+        W.Flags.push_back(0);
+      }
+      return Val;
+    };
+    PairIndex(Go.root(), Gn.root());
+    for (uint32_t I = 0; I != W.Pairs.size(); ++I) {
+      auto [Vo, Vn] = W.Pairs[I];
+      if (Skip && W.Clean.find(Vo, Vn) && !reachesDirty(Vn)) {
+        // Clash-free last walk, nothing in the cone changed: the re-walk
+        // would reproduce exactly no clashes below this pair.
+        if (Stats)
+          ++Stats->IncrementalSkips;
         continue;
-      if (vertexIncludes(Gn, Va, Gn, C.Vn, Syms))
-        continue; // cycle introduction territory, already failed on pf
-      std::vector<FunctorId> PfA = Gn.pfSet(Va, Syms);
-      if (!pfSubset(PfN, PfA) && !DepthClash)
+      }
+      const TGNode &No = Go.node(Vo);
+      const TGNode &Nn = CGn.node(Vn);
+      auto Child = [&](NodeId A, NodeId B) {
+        uint32_t C = PairIndex(A, B);
+        W.Edges.emplace_back(I, C);
+      };
+      if (No.Kind == NodeKind::Func && Nn.Kind == NodeKind::Func) {
+        assert(No.Fn == Nn.Fn && "corresponding functor vertices must agree");
+        for (size_t J = 0, E = No.Succs.size(); J != E; ++J)
+          Child(No.Succs[J], Nn.Succs[J]);
         continue;
-      uint64_t OldSize = Gn.sizeMetric();
-      // The conclusion's extension: prefer a type from the database
-      // that covers both clash vertices, if it shrinks the graph.
-      if (Opts.Database) {
-        const TypeGraph *Best = nullptr;
-        for (const TypeGraph &D : *Opts.Database) {
-          if (!vertexIncludes(D, D.root(), Gn, Va, Syms) ||
-              !vertexIncludes(D, D.root(), Gn, C.Vn, Syms))
-            continue;
-          if (!Best || D.sizeMetric() < Best->sizeMetric())
-            Best = &D;
+      }
+      if (No.Kind != NodeKind::Or || Nn.Kind != NodeKind::Or)
+        continue; // leaf pairs carry no information
+      bool SameDepth = TopoO.Topo.Depth[Vo] == W.GnTopo.Depth[Vn];
+      PfSetId PfO = TopoO.Pf[Vo];
+      PfSetId PfN = W.Pf[Vn];
+      if (SameDepth && PfO == PfN) {
+        // Same pf-set plus sorted successors => positional
+        // correspondence. Beware Isolated-Any: both must be plain
+        // alternatives.
+        if (No.Succs.size() == Nn.Succs.size())
+          for (size_t J = 0, E = No.Succs.size(); J != E; ++J)
+            Child(No.Succs[J], Nn.Succs[J]);
+        continue;
+      }
+      // Topological clash; keep it if it is a widening clash (Def 7.3).
+      if (W.PfSets.isEmpty(PfN))
+        continue;
+      bool PfClash = PfO != PfN && SameDepth;
+      bool DepthClash = TopoO.Topo.Depth[Vo] < W.GnTopo.Depth[Vn];
+      if (PfClash || DepthClash) {
+        W.Flags[I] |= FlagClash;
+        W.Clashes.emplace_back(Vo, Vn);
+      }
+    }
+    // Deterministic processing order: shallow clash vertices first. BFS
+    // position order equals the (depth, compacted id) order the historic
+    // implementation sorted by — compact() numbers by BFS position.
+    std::sort(W.Clashes.begin(), W.Clashes.end(),
+              [&](const std::pair<NodeId, NodeId> &A,
+                  const std::pair<NodeId, NodeId> &B) {
+                if (A.second != B.second)
+                  return W.BfsPos[A.second] < W.BfsPos[B.second];
+                return A.first < B.first;
+              });
+    if (Stats && AllowSkip) { // the debug audit walk below must not tick
+      ++Stats->ClashWalks;
+      Stats->Clashes += W.Clashes.size();
+    }
+#ifndef NDEBUG
+    if (Skip) {
+      // Incremental-walk audit: the skip rule must reproduce the full
+      // walk's clash list exactly. Snapshot and restore the pair-graph
+      // buffers around the full re-walk, so rebuildClean consumes the
+      // *incremental* walk's state — debug builds must execute exactly
+      // the schedule release builds ship.
+      auto SavedPairs = W.Pairs;
+      auto SavedEdges = W.Edges;
+      auto SavedFlags = W.Flags;
+      auto Incremental = W.Clashes;
+      clashWalk(/*AllowSkip=*/false);
+      assert(Incremental == W.Clashes &&
+             "incremental clash re-walk diverged from the full walk");
+      W.Pairs = std::move(SavedPairs);
+      W.Edges = std::move(SavedEdges);
+      W.Flags = std::move(SavedFlags);
+      W.Clashes = std::move(Incremental);
+    }
+#endif
+    HavePrev = true;
+  }
+
+  /// Rebuilds the clean-cone table from the walk just performed: a pair
+  /// is clean iff no clash pair is reachable from it in the pair graph.
+  void rebuildClean() {
+    uint32_t P = static_cast<uint32_t>(W.Pairs.size());
+    // Reverse CSR over the pair graph (edge target -> sources).
+    W.PredOff.assign(P + 1, 0);
+    for (const auto &[From, To] : W.Edges)
+      ++W.PredOff[To + 1];
+    for (uint32_t I = 0; I != P; ++I)
+      W.PredOff[I + 1] += W.PredOff[I];
+    W.PredDat.resize(W.PredOff[P]);
+    W.CsrFill.assign(W.PredOff.begin(), W.PredOff.end() - 1);
+    for (const auto &[From, To] : W.Edges)
+      W.PredDat[W.CsrFill[To]++] = From;
+    W.PairWork.clear();
+    for (uint32_t I = 0; I != P; ++I)
+      if (W.Flags[I] & FlagClash) {
+        W.Flags[I] |= FlagReachClash;
+        W.PairWork.push_back(I);
+      }
+    while (!W.PairWork.empty()) {
+      uint32_t I = W.PairWork.back();
+      W.PairWork.pop_back();
+      for (uint32_t J = W.PredOff[I], E = W.PredOff[I + 1]; J != E; ++J) {
+        uint32_t Pred = W.PredDat[J];
+        if (!(W.Flags[Pred] & FlagReachClash)) {
+          W.Flags[Pred] |= FlagReachClash;
+          W.PairWork.push_back(Pred);
         }
-        if (Best) {
-          TypeGraph Candidate = graftReplaceImpl(Gn, Va, *Best, TopoN);
-          if (Candidate.sizeMetric() < OldSize) {
-            Gn = std::move(Candidate);
+      }
+    }
+    W.Clean.begin();
+    for (uint32_t I = 0; I != P; ++I)
+      if (!(W.Flags[I] & FlagReachClash))
+        W.Clean.insert(W.Pairs[I].first, W.Pairs[I].second);
+  }
+
+  //===--------------------------------------------------------------------//
+  // The transform rules (Definitions 7.4 and 7.5).
+  //===--------------------------------------------------------------------//
+
+  /// Cycle introduction rule (Definition 7.4).
+  bool cycleIntroduction() {
+    for (auto [Vo, Vn] : W.Clashes) {
+      if (Vn == Gn.root())
+        continue; // no incoming edge to redirect
+      PfSetId PfN = W.Pf[Vn];
+      for (NodeId Va = W.OrAnc[Vn]; Va != InvalidNode; Va = W.OrAnc[Va]) {
+        if (TopoO.Topo.Depth[Vo] < W.GnTopo.Depth[Va])
+          continue;
+        if (!W.PfSets.subsetOf(PfN, W.Pf[Va]))
+          continue;
+        if (!vertexIncludes(Gn, Va, Gn, Vn, Syms, &W))
+          continue;
+        // Redirect the tree edge (parent(Vn), Vn) to Va.
+        NodeId Parent = W.GnTopo.Parent[Vn];
+        for (NodeId &S : Gn.node(Parent).Succs)
+          if (S == Vn)
+            S = Va;
+        W.DirtyStruct.clear();
+        W.DirtyStruct.push_back(Parent);
+        if (Stats)
+          ++Stats->CycleIntroductions;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Replacement rule (Definition 7.5).
+  bool replacement() {
+    // Size of the current graph (reachable vertices + edges): the rule
+    // only fires on a strict decrease (Figure 7). The topology is
+    // current, so this is a pass over BfsOrder, not a fresh BFS.
+    uint64_t OldSize = 0;
+    for (NodeId V : W.GnTopo.BfsOrder)
+      OldSize += 1 + CGn.node(V).Succs.size();
+
+    for (auto [Vo, Vn] : W.Clashes) {
+      PfSetId PfN = W.Pf[Vn];
+      bool DepthClash = TopoO.Topo.Depth[Vo] < W.GnTopo.Depth[Vn];
+      for (NodeId Va = W.OrAnc[Vn]; Va != InvalidNode; Va = W.OrAnc[Va]) {
+        if (TopoO.Topo.Depth[Vo] < W.GnTopo.Depth[Va])
+          continue;
+        if (vertexIncludes(Gn, Va, Gn, Vn, Syms, &W))
+          continue; // cycle introduction territory, already failed on pf
+        if (!W.PfSets.subsetOf(PfN, W.Pf[Va]) && !DepthClash)
+          continue;
+        // The conclusion's extension: prefer a type from the database
+        // that covers both clash vertices, if it shrinks the graph.
+        if (Opts.Database) {
+          const TypeGraph *Best = nullptr;
+          for (const TypeGraph &D : *Opts.Database) {
+            if (!vertexIncludes(D, D.root(), Gn, Va, Syms, &W) ||
+                !vertexIncludes(D, D.root(), Gn, Vn, Syms, &W))
+              continue;
+            if (!Best || D.sizeMetric() < Best->sizeMetric())
+              Best = &D;
+          }
+          if (Best && sizeWithRedirect(Va, *Best) < OldSize) {
+            commitReplace(Va, *Best);
             if (Stats) {
               ++Stats->Replacements;
               ++Stats->DatabaseHits;
@@ -195,43 +379,116 @@ static bool applyOneTransform(const TypeGraph &Go, TypeGraph &Gn,
             return true;
           }
         }
+        // Replace Va by an upper bound of Va and Vn, computed with the
+        // collapsing union (the paper's growth-avoiding union variant);
+        // fall back to Any. Either must strictly decrease the size of
+        // the graph (Figure 7).
+        W.StartBuf.assign({Va, Vn});
+        TypeGraph Rep =
+            collapsingUnionFrom(Gn, W.StartBuf, Syms, Opts.Norm, NScratch);
+        if (sizeWithRedirect(Va, Rep) < OldSize) {
+          commitReplace(Va, Rep);
+          if (Stats)
+            ++Stats->Replacements;
+          return true;
+        }
+        TypeGraph AnyRep = TypeGraph::makeAny();
+        if (sizeWithRedirect(Va, AnyRep) < OldSize) {
+          commitReplace(Va, AnyRep);
+          if (Stats)
+            ++Stats->Replacements;
+          return true;
+        }
+        // Cannot shrink here; try the next ancestor / clash.
       }
-      // Replace Va by an upper bound of Va and Vn, computed with the
-      // collapsing union (the paper's growth-avoiding union variant);
-      // fall back to Any. Either must strictly decrease the size of the
-      // graph (Figure 7).
-      TypeGraph Rep =
-          collapsingUnionFrom(Gn, {Va, C.Vn}, Syms, Opts.Norm, Scratch);
-      TypeGraph Candidate = graftReplaceImpl(Gn, Va, Rep, TopoN);
-      if (Candidate.sizeMetric() < OldSize) {
-        Gn = std::move(Candidate);
-        if (Stats)
-          ++Stats->Replacements;
-        return true;
+    }
+    return false;
+  }
+
+  /// Size of the graph graftReplace(Gn, Va, Rep) would have, without
+  /// building it: a BFS over Gn with every edge into Va read as an edge
+  /// onto Rep's root (Rep ids offset past Gn's).
+  uint64_t sizeWithRedirect(NodeId Va, const TypeGraph &Rep) {
+    uint32_t N = Gn.numNodes();
+    uint64_t Epoch = W.beginNodeEpoch(size_t(N) + Rep.numNodes());
+    W.Worklist.clear();
+    auto Push = [&](NodeId X) {
+      if (W.NodeMark[X] != Epoch) {
+        W.NodeMark[X] = Epoch;
+        W.Worklist.push_back(X);
       }
-      TypeGraph AnyRep = TypeGraph::makeAny();
-      Candidate = graftReplaceImpl(Gn, Va, AnyRep, TopoN);
-      if (Candidate.sizeMetric() < OldSize) {
-        Gn = std::move(Candidate);
-        if (Stats)
-          ++Stats->Replacements;
-        return true;
+    };
+    Push(Gn.root() == Va ? N + Rep.root() : Gn.root());
+    uint64_t Size = 0;
+    while (!W.Worklist.empty()) {
+      NodeId X = W.Worklist.back();
+      W.Worklist.pop_back();
+      const TGNode &Nd = X < N ? CGn.node(X) : Rep.node(X - N);
+      Size += 1 + Nd.Succs.size();
+      if (X < N) {
+        for (NodeId S : Nd.Succs)
+          Push(S == Va ? N + Rep.root() : S);
+      } else {
+        for (NodeId S : Nd.Succs)
+          Push(N + S);
       }
-      // Cannot shrink here; try the next ancestor / clash.
+    }
+    return Size;
+  }
+
+  /// Commits the replacement in place: append a copy of Rep, redirect
+  /// every edge into Va (and the root, if Va is the root) onto it. The
+  /// orphaned subtree stays as garbage until the final compaction —
+  /// surviving vertices keep their ids, which is what lets the next
+  /// clash walk run incrementally.
+  void commitReplace(NodeId Va, const TypeGraph &Rep) {
+    uint32_t Old = Gn.numNodes();
+    NodeId RepRoot = copySubgraph(Rep, Rep.root(), Gn);
+    W.DirtyStruct.clear();
+    if (Va == Gn.root()) {
+      Gn.setRoot(RepRoot);
+      // Everything moved; the next walk starts from scratch.
+      HavePrev = false;
+      return;
+    }
+    for (NodeId V = 0; V != Old; ++V) {
+      bool Touched = false;
+      for (NodeId &S : Gn.node(V).Succs)
+        if (S == Va) {
+          S = RepRoot;
+          Touched = true;
+        }
+      if (Touched)
+        W.DirtyStruct.push_back(V);
     }
   }
-  return false;
-}
 
-} // namespace
+  const TypeGraph &Go;
+  TypeGraph &Gn;
+  /// Read-only alias of Gn: pure reads must resolve to the const
+  /// node() overload, which neither drops the derived caches nor runs
+  /// the copy-on-write ownership check.
+  const TypeGraph &CGn;
+  const SymbolTable &Syms;
+  const WideningOptions &Opts;
+  WideningStats *Stats;
+  NormalizeScratch *NScratch;
+  WideningScratch &W;
+  const TypeGraph::TopoCache &TopoO;
+  bool HavePrev = false;
+};
 
-TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
+/// Shared implementation: \p CheckInclusion is false when the caller has
+/// already refuted Gnew <= Gold (detail::graphWidenNotIncluded).
+static TypeGraph widenImpl(const TypeGraph &Gold, const TypeGraph &Gnew,
                            const SymbolTable &Syms,
                            const WideningOptions &Opts,
-                           WideningStats *Stats, NormalizeScratch *Scratch) {
+                           WideningStats *Stats, NormalizeScratch *Scratch,
+                           WideningScratch *WS, bool CheckInclusion) {
+  WideningScratch &W = gaia::detail::wideningScratchOr(WS);
   if (Stats)
     ++Stats->Invocations;
-  if (graphIncludes(Gold, Gnew, Syms))
+  if (CheckInclusion && graphIncludes(Gold, Gnew, Syms, &W))
     return Gold;
   if (Opts.Mode == WidenMode::DepthK) {
     // Baseline strategy: truncate the union at DepthK or-levels. This
@@ -245,8 +502,9 @@ TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
     return normalizeGraph(Gnew, Syms, Opts.Norm, Scratch);
   TypeGraph Gn = graphUnion(Gold, Gnew, Syms, Opts.Norm, Scratch);
 
+  WidenRun Run(Gold, Gn, Syms, Opts, Stats, Scratch, W);
   uint32_t Transforms = 0;
-  while (applyOneTransform(Gold, Gn, Syms, Opts, Stats, Scratch)) {
+  while (Run.applyOneTransform()) {
     ++Transforms;
     if (Transforms > Opts.MaxTransforms) {
       // Defensive budget exhausted. The paper proves the transformation
@@ -263,14 +521,38 @@ TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
   }
   // Cycle introduction can make previously distinct vertices
   // language-equivalent; re-normalize (exactly language-preserving) so
-  // results stay minimal and canonical.
+  // results stay minimal and canonical. This is also where the garbage
+  // the in-place transforms left behind is dropped.
   if (Transforms != 0)
     Gn = normalizeGraph(Gn, Syms, Opts.Norm, Scratch);
 #ifndef NDEBUG
-  assert(graphIncludes(Gn, Gold, Syms) && "widening must include old graph");
-  assert(graphIncludes(Gn, Gnew, Syms) && "widening must include new graph");
+  assert(graphIncludes(Gn, Gold, Syms, &W) &&
+         "widening must include old graph");
+  assert(graphIncludes(Gn, Gnew, Syms, &W) &&
+         "widening must include new graph");
 #endif
   return Gn;
+}
+
+} // namespace
+
+TypeGraph gaia::graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
+                           const SymbolTable &Syms,
+                           const WideningOptions &Opts,
+                           WideningStats *Stats, NormalizeScratch *Scratch,
+                           WideningScratch *WS) {
+  return widenImpl(Gold, Gnew, Syms, Opts, Stats, Scratch, WS,
+                   /*CheckInclusion=*/true);
+}
+
+TypeGraph gaia::detail::graphWidenNotIncluded(
+    const TypeGraph &Gold, const TypeGraph &Gnew, const SymbolTable &Syms,
+    const WideningOptions &Opts, WideningStats *Stats,
+    NormalizeScratch *Scratch, WideningScratch *WS) {
+  assert(!graphIncludes(Gold, Gnew, Syms, WS) &&
+         "caller promised the inclusion check was already refuted");
+  return widenImpl(Gold, Gnew, Syms, Opts, Stats, Scratch, WS,
+                   /*CheckInclusion=*/false);
 }
 
 TypeGraph gaia::detail::graftReplace(const TypeGraph &G, NodeId Va,

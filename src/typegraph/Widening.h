@@ -28,6 +28,7 @@
 #ifndef GAIA_TYPEGRAPH_WIDENING_H
 #define GAIA_TYPEGRAPH_WIDENING_H
 
+#include "typegraph/GraphOps.h"
 #include "typegraph/Normalize.h"
 #include "typegraph/TypeGraph.h"
 
@@ -76,17 +77,38 @@ struct WideningStats {
   /// Widenings answered by the OpCache memo layer (the rule counters
   /// above only tick on actual recomputations).
   uint64_t CacheHits = 0;
+  /// Widening clashes found across all correspondence walks (Def 7.3).
+  uint64_t Clashes = 0;
+  /// Correspondence walks performed (one per transform-loop iteration).
+  uint64_t ClashWalks = 0;
+  /// Pair cones skipped by the incremental re-walk because they were
+  /// clash-free in the previous walk and no vertex in them changed.
+  uint64_t IncrementalSkips = 0;
 };
 
 /// Computes Gold V Gnew. Both inputs must be normalized; the result is
-/// normalized and includes both inputs.
+/// normalized and includes both inputs. \p WS provides the reusable
+/// buffers of the widening hot loop (pair tables, topology arrays, the
+/// pf-set interner); nullptr falls back to a thread-local instance.
 TypeGraph graphWiden(const TypeGraph &Gold, const TypeGraph &Gnew,
                      const SymbolTable &Syms,
                      const WideningOptions &Opts = {},
                      WideningStats *Stats = nullptr,
-                     NormalizeScratch *Scratch = nullptr);
+                     NormalizeScratch *Scratch = nullptr,
+                     WideningScratch *WS = nullptr);
 
 namespace detail {
+
+/// graphWiden for callers that have already established — and memoized —
+/// that \p Gnew is NOT included in \p Gold (typegraph/OpCache.cpp's
+/// widenOf runs the check through its inclusion memo): skips the entry
+/// inclusion test so the product walk is not repeated uncached.
+TypeGraph graphWidenNotIncluded(const TypeGraph &Gold, const TypeGraph &Gnew,
+                                const SymbolTable &Syms,
+                                const WideningOptions &Opts,
+                                WideningStats *Stats,
+                                NormalizeScratch *Scratch,
+                                WideningScratch *WS);
 
 /// Splices a copy of \p Rep in place of the subtree rooted at or-vertex
 /// \p Va of \p G, redirecting *every* incoming edge of \p Va (not just

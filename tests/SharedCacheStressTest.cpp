@@ -26,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <thread>
 
@@ -219,6 +220,71 @@ TEST(SharedCacheStressTest, EightThreadsOverOneFrozenTierMatchTheOracle) {
   }
   EXPECT_GT(TotalSharedHits, 0u)
       << "the stress pool must actually exercise the frozen tier";
+}
+
+/// ISSUE-5 satellite: the frozen PfSetInterner tier (part of the frozen
+/// op tier since the widening fast-path work) must serve concurrent
+/// lookups bit-identically. Every thread runs the same deterministic
+/// intern/subset sequence over a private interner layered on the one
+/// shared tier; the oracle is the same sequence run sequentially. Under
+/// TSan this also polices that tier lookups and subset walks are pure
+/// reads.
+TEST(SharedCacheStressTest, FrozenPfTierServesConcurrentLookupsBitIdentically) {
+  std::vector<AnalysisJob> Warmup;
+  for (const char *Key : {"QU", "DS", "PL", "BR"}) {
+    const BenchmarkProgram *B = findBenchmark(Key);
+    ASSERT_NE(B, nullptr);
+    Warmup.push_back({B->Key, B->Source, B->GoalSpec});
+  }
+  std::string Err;
+  std::shared_ptr<const SharedCache> Cache =
+      SharedCache::build(Warmup, AnalyzerOptions{}, &Err);
+  ASSERT_NE(Cache, nullptr) << Err;
+  std::shared_ptr<const FrozenPfTier> Tier = Cache->ops()->Pf;
+  ASSERT_NE(Tier, nullptr);
+  ASSERT_GT(Tier->size(), 0u) << "warmup must populate the pf tier";
+  const uint32_t NumFns = Cache->symbols().numFunctors();
+
+  // One deterministic sequence of intern + subset queries. Private
+  // delta ids are deterministic per sequence, so the full log (ids and
+  // subset verdicts) must be identical across runs.
+  auto RunPf = [&](unsigned Seq) {
+    PfSetInterner L(Tier);
+    Lcg R(0xBF000 + Seq);
+    std::vector<uint64_t> Log;
+    std::vector<PfSetId> Ids;
+    const unsigned Ops = opsPerThread();
+    for (unsigned I = 0; I != Ops; ++I) {
+      std::vector<FunctorId> S;
+      unsigned N = R.next(5);
+      for (unsigned J = 0; J != N; ++J)
+        S.push_back(R.next(NumFns));
+      std::sort(S.begin(), S.end());
+      S.erase(std::unique(S.begin(), S.end()), S.end());
+      PfSetId Id = L.intern(S);
+      Ids.push_back(Id);
+      Log.push_back(Id);
+      PfSetId A = Ids[R.next(static_cast<uint32_t>(Ids.size()))];
+      PfSetId B = Ids[R.next(static_cast<uint32_t>(Ids.size()))];
+      Log.push_back(L.subsetOf(A, B) ? 1 : 0);
+    }
+    return Log;
+  };
+
+  std::vector<std::vector<uint64_t>> Oracle(NumThreads);
+  for (unsigned Seq = 0; Seq != NumThreads; ++Seq)
+    Oracle[Seq] = RunPf(Seq);
+
+  std::vector<std::vector<uint64_t>> Got(NumThreads);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned Seq = 0; Seq != NumThreads; ++Seq)
+      Threads.emplace_back([&, Seq] { Got[Seq] = RunPf(Seq); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  for (unsigned Seq = 0; Seq != NumThreads; ++Seq)
+    ASSERT_EQ(Got[Seq], Oracle[Seq]) << "pf sequence " << Seq;
 }
 
 /// Concurrent *jobs* (full analyses) over one tier — the pool's inner
