@@ -43,6 +43,13 @@ import os
 import sys
 
 TOLERANCE = 0.30
+# Keys a snapshot must carry before any comparison runs. Validated up
+# front so a harness/schema mismatch reads as "file X is missing key Y"
+# (exit 2, configuration error) instead of a bare KeyError traceback
+# masquerading as a perf regression.
+TABLE3_KEYS = ("programs", "total_solve_seconds")
+TABLE3_PROGRAM_KEYS = ("key", "solve_seconds")
+THROUGHPUT_KEYS = ("identical_all", "jobs_per_sec_max")
 # Per-program gate: fail when one program regresses by more than this,
 # but only gate programs whose baseline solve time clears the floor
 # (timing noise dominates below it).
@@ -52,11 +59,58 @@ PER_PROGRAM_FLOOR = 0.005  # seconds
 SCALING_FLOORS = [(8, 3.0), (4, 1.5)]
 
 
+def fail_config(msg):
+    """Configuration/schema problem: not a regression, exit 2."""
+    print(f"ERROR: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_snapshot(path, required_keys, label):
+    """Loads a bench snapshot and verifies the schema up front."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        fail_config(f"cannot read {label} '{path}': {e}")
+    except json.JSONDecodeError as e:
+        fail_config(f"{label} '{path}' is not valid JSON: {e}")
+    if not isinstance(data, dict):
+        fail_config(
+            f"{label} '{path}': expected a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    missing = [k for k in required_keys if k not in data]
+    if missing:
+        fail_config(
+            f"{label} '{path}' is missing required key(s): "
+            f"{', '.join(missing)} — was it written by the matching bench "
+            f"harness run with --json?"
+        )
+    return data
+
+
+def validate_programs(data, path, label):
+    progs = data["programs"]
+    if not isinstance(progs, list) or not progs:
+        fail_config(f"{label} '{path}': 'programs' must be a non-empty list")
+    for i, prog in enumerate(progs):
+        if not isinstance(prog, dict):
+            fail_config(
+                f"{label} '{path}': programs[{i}] is not an object"
+            )
+        missing = [k for k in TABLE3_PROGRAM_KEYS if k not in prog]
+        if missing:
+            fail_config(
+                f"{label} '{path}': programs[{i}] is missing "
+                f"{', '.join(missing)}"
+            )
+
+
 def check_table3(current_path, baseline_path):
-    with open(current_path) as f:
-        current = json.load(f)
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+    current = load_snapshot(current_path, TABLE3_KEYS, "table3 snapshot")
+    baseline = load_snapshot(baseline_path, TABLE3_KEYS, "table3 baseline")
+    validate_programs(current, current_path, "table3 snapshot")
+    validate_programs(baseline, baseline_path, "table3 baseline")
 
     failed = False
 
@@ -105,8 +159,9 @@ def check_table3(current_path, baseline_path):
 
 
 def check_throughput(current_path, baseline_path):
-    with open(current_path) as f:
-        current = json.load(f)
+    current = load_snapshot(
+        current_path, THROUGHPUT_KEYS, "throughput snapshot"
+    )
 
     failed = False
 
@@ -138,8 +193,9 @@ def check_throughput(current_path, baseline_path):
         )
         return failed
 
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+    baseline = load_snapshot(
+        baseline_path, ("jobs_per_sec_max",), "throughput baseline"
+    )
     cur = current["jobs_per_sec_max"]
     base = baseline["jobs_per_sec_max"]
     limit = base * (1.0 - TOLERANCE)

@@ -168,7 +168,8 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
     if (!ExternalOps && Opts.UseOpCache)
       Owned.emplace(Syms, Norm, Shared ? Shared->ops() : nullptr);
     OpCache *Ops = ExternalOps ? ExternalOps : (Owned ? &*Owned : nullptr);
-    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats, Ops};
+    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats, Ops,
+                        std::make_shared<TypeLeaf::Constants>(), nullptr};
     if (Shared) {
       // Per-job copy of the pre-primed constants (their intern caches
       // carry the frozen tier's epoch), and the keep-alive anchor for

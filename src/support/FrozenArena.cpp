@@ -1,0 +1,118 @@
+//===- support/FrozenArena.cpp --------------------------------------------==//
+
+#include "support/FrozenArena.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GAIA_ARENA_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define GAIA_ARENA_HAVE_MMAP 0
+#endif
+
+using namespace gaia;
+
+namespace {
+
+[[noreturn]] void arenaFatal(const char *Msg) {
+  std::fprintf(stderr, "gaia FrozenArena: %s\n", Msg);
+  std::abort();
+}
+
+std::size_t pageSize() {
+#if GAIA_ARENA_HAVE_MMAP
+  static const std::size_t Sz = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return Sz;
+#else
+  return 4096;
+#endif
+}
+
+std::size_t roundUp(std::size_t N, std::size_t Align) {
+  return (N + Align - 1) & ~(Align - 1);
+}
+
+/// Default mapping granularity. Tiers hold tens of thousands of small
+/// nodes; coarse chunks keep the chunk table (and mprotect call count)
+/// tiny without wasting much tail.
+constexpr std::size_t DefaultChunkBytes = 256 * 1024;
+
+} // namespace
+
+FrozenArena::~FrozenArena() {
+  for (Chunk &C : Chunks) {
+#if GAIA_ARENA_HAVE_MMAP
+    munmap(C.Base, C.Size);
+#else
+    ::operator delete(C.Base, std::align_val_t(pageSize()));
+#endif
+  }
+}
+
+FrozenArena::Chunk &FrozenArena::chunkFor(std::size_t Bytes) {
+  if (!Chunks.empty()) {
+    Chunk &Last = Chunks.back();
+    if (Last.Size - Last.Used >= Bytes)
+      return Last;
+  }
+  std::size_t MapBytes =
+      roundUp(Bytes > DefaultChunkBytes ? Bytes : DefaultChunkBytes,
+              pageSize());
+  Chunk C;
+#if GAIA_ARENA_HAVE_MMAP
+  void *P = mmap(nullptr, MapBytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    arenaFatal("mmap failed");
+#else
+  void *P = ::operator new(MapBytes, std::align_val_t(pageSize()));
+#endif
+  C.Base = P;
+  C.Size = MapBytes;
+  C.Used = 0;
+  Chunks.push_back(C);
+  return Chunks.back();
+}
+
+void *FrozenArena::allocate(std::size_t Bytes, std::size_t Align) {
+  if (Sealed)
+    arenaFatal("allocation from a sealed arena (post-freeze tier growth)");
+  if (Bytes == 0)
+    Bytes = 1;
+  if (Align < alignof(std::max_align_t))
+    Align = alignof(std::max_align_t);
+  // Worst case the aligned cursor needs Align - 1 extra bytes; asking for
+  // the padded size up front keeps chunkFor's fit test exact.
+  Chunk &C = chunkFor(Bytes + Align - 1);
+  std::size_t Cursor =
+      roundUp(reinterpret_cast<std::size_t>(C.Base) + C.Used, Align) -
+      reinterpret_cast<std::size_t>(C.Base);
+  C.Used = Cursor + Bytes;
+  Allocated += Bytes;
+  return static_cast<char *>(C.Base) + Cursor;
+}
+
+void FrozenArena::seal() {
+  if (Sealed)
+    return;
+  Sealed = true;
+#if GAIA_ARENA_HAVE_MMAP
+  for (Chunk &C : Chunks)
+    if (mprotect(C.Base, C.Size, PROT_READ) != 0)
+      arenaFatal("mprotect(PROT_READ) failed");
+#endif
+}
+
+void FrozenArena::unseal() {
+  if (!Sealed)
+    return;
+  Sealed = false;
+#if GAIA_ARENA_HAVE_MMAP
+  for (Chunk &C : Chunks)
+    if (mprotect(C.Base, C.Size, PROT_READ | PROT_WRITE) != 0)
+      arenaFatal("mprotect(PROT_READ|PROT_WRITE) failed");
+#endif
+}

@@ -1,0 +1,181 @@
+//===- support/FrozenArena.h - mprotect-sealed storage for frozen tiers ---==//
+///
+/// \file
+/// Page-aligned bump arena backing the bulk storage of the frozen shared
+/// cache tiers (FrozenInternTier / FrozenOpTier / FrozenPfTier) in audit
+/// builds (-DGAIA_AUDIT=ON).
+///
+/// The frozen tiers' thread-safety contract is "never written after
+/// freeze()". TSan can prove the *concurrent* half of that contract, but
+/// not the single-threaded half: a bug that writes a tier from one thread
+/// only — a lazily-filled cache field rebuilt under a mismatched epoch, a
+/// const_cast smuggled around the const fields, a stats counter moved
+/// into a tier — is invisible to every sanitizer and corrupts every
+/// worker that shares the tier. Audit builds close that hole at the
+/// hardware level: tier containers allocate from a FrozenArena, and
+/// `seal()` flips the arena's pages to PROT_READ once freeze() completes.
+/// Any later write faults immediately, at the writing instruction.
+///
+/// Layering:
+///   - FrozenArena: mmap'd chunks + bump allocation + seal()/munmap. The
+///     chunk table itself lives on the normal heap, so allocation
+///     metadata never shares a page with sealed storage.
+///   - ArenaAllocator<T>: standard allocator over a FrozenArena*; with a
+///     null arena it degrades to operator new/delete, so the same
+///     container types work in both modes.
+///   - Frozen{Vector,Deque,Map}: the container aliases the tier structs
+///     declare their fields with. Under GAIA_AUDIT they bind the arena
+///     allocator (maps via std::scoped_allocator_adaptor, so nested
+///     bucket vectors land in the arena too); otherwise they are the
+///     plain std containers, and the audit machinery costs nothing.
+///
+/// The class is always compiled (and unit-tested) so audit builds do not
+/// drift; only the tier typedefs are gated on GAIA_AUDIT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SUPPORT_FROZENARENA_H
+#define GAIA_SUPPORT_FROZENARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <scoped_allocator>
+#include <unordered_map>
+#include <vector>
+
+namespace gaia {
+
+/// A growable set of page-aligned memory chunks with bump allocation and
+/// a one-way seal. Not thread-safe while unsealed (freeze() is
+/// single-threaded); immutable — and enforced so — after seal().
+class FrozenArena {
+public:
+  FrozenArena() = default;
+  ~FrozenArena();
+
+  FrozenArena(const FrozenArena &) = delete;
+  FrozenArena &operator=(const FrozenArena &) = delete;
+
+  /// Bump-allocates \p Bytes with \p Align alignment. Aborts if called
+  /// after seal() — a sealed tier must never grow.
+  void *allocate(std::size_t Bytes, std::size_t Align);
+
+  /// No-op: bump storage is reclaimed wholesale by the destructor. Kept
+  /// so ArenaAllocator can satisfy the allocator requirements.
+  void deallocate(void *, std::size_t) noexcept {}
+
+  /// Remaps every chunk PROT_READ. Idempotent. After this, any write to
+  /// arena-backed storage faults.
+  void seal();
+
+  /// Remaps the chunks writable again. The only legitimate caller is a
+  /// frozen tier's destructor: container teardown writes bookkeeping
+  /// into the storage it releases (unordered_map::clear() zeroes its
+  /// bucket array), so the last reference to a tier must lift the seal
+  /// before its members destruct. Not an API for mutating live tiers.
+  void unseal();
+
+  bool sealed() const { return Sealed; }
+  std::size_t bytesAllocated() const { return Allocated; }
+
+private:
+  struct Chunk {
+    void *Base = nullptr;
+    std::size_t Size = 0; ///< mapped size (page multiple)
+    std::size_t Used = 0; ///< bump offset
+  };
+  /// Chunk whose tail can fit \p Bytes, growing the arena if needed.
+  Chunk &chunkFor(std::size_t Bytes);
+
+  /// Chunk table on the normal heap: allocator bookkeeping must stay
+  /// writable after the storage itself is sealed.
+  std::vector<Chunk> Chunks;
+  std::size_t Allocated = 0;
+  bool Sealed = false;
+};
+
+/// Standard allocator over a FrozenArena. Null arena => operator new, so
+/// default-constructed containers of these types stay usable anywhere.
+template <class T> class ArenaAllocator {
+public:
+  using value_type = T;
+  template <class U> struct rebind {
+    using other = ArenaAllocator<U>;
+  };
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(FrozenArena *A) noexcept : Arena(A) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U> &O) noexcept : Arena(O.Arena) {}
+
+  T *allocate(std::size_t N) {
+    if (Arena)
+      return static_cast<T *>(Arena->allocate(N * sizeof(T), alignof(T)));
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+  void deallocate(T *P, std::size_t N) noexcept {
+    if (Arena)
+      Arena->deallocate(P, N * sizeof(T));
+    else
+      ::operator delete(P);
+  }
+
+  friend bool operator==(const ArenaAllocator &A,
+                         const ArenaAllocator &B) noexcept {
+    return A.Arena == B.Arena;
+  }
+  friend bool operator!=(const ArenaAllocator &A,
+                         const ArenaAllocator &B) noexcept {
+    return A.Arena != B.Arena;
+  }
+
+  FrozenArena *Arena = nullptr;
+};
+
+#ifdef GAIA_AUDIT
+
+template <class T> using FrozenVector = std::vector<T, ArenaAllocator<T>>;
+template <class T> using FrozenDeque = std::deque<T, ArenaAllocator<T>>;
+/// scoped_allocator_adaptor propagates the arena into allocator-aware
+/// mapped types (the Frozen*Tier bucket vectors), so a tier's nested
+/// storage seals along with its top-level tables.
+template <class K, class V, class Hash = std::hash<K>,
+          class Eq = std::equal_to<K>>
+using FrozenMap = std::unordered_map<
+    K, V, Hash, Eq,
+    std::scoped_allocator_adaptor<ArenaAllocator<std::pair<const K, V>>>>;
+
+/// One arena per frozen tier (null and unused without GAIA_AUDIT).
+inline std::shared_ptr<FrozenArena> makeTierArena() {
+  return std::make_shared<FrozenArena>();
+}
+
+/// An empty container of type \p C whose storage comes from \p Arena.
+template <class C>
+C makeFrozenContainer(const std::shared_ptr<FrozenArena> &Arena) {
+  using Alloc = typename C::allocator_type;
+  return C(Alloc(ArenaAllocator<typename C::value_type>(Arena.get())));
+}
+
+#else
+
+template <class T> using FrozenVector = std::vector<T>;
+template <class T> using FrozenDeque = std::deque<T>;
+template <class K, class V, class Hash = std::hash<K>,
+          class Eq = std::equal_to<K>>
+using FrozenMap = std::unordered_map<K, V, Hash, Eq>;
+
+inline std::shared_ptr<FrozenArena> makeTierArena() { return nullptr; }
+
+template <class C>
+C makeFrozenContainer(const std::shared_ptr<FrozenArena> &) {
+  return C();
+}
+
+#endif // GAIA_AUDIT
+
+} // namespace gaia
+
+#endif // GAIA_SUPPORT_FROZENARENA_H

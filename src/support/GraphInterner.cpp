@@ -204,24 +204,26 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
   return Id;
 }
 
-std::shared_ptr<const FrozenInternTier> GraphInterner::freeze() const {
-  auto T = std::make_shared<FrozenInternTier>();
-  T->Epoch = nextInternerEpoch();
+std::shared_ptr<const FrozenInternTier>
+GraphInterner::freeze(bool SealStorage) const {
+  FrozenInternTier::Builder B;
+  B.Epoch = nextInternerEpoch();
 
   // Canonical graphs: the shared tier's prefix (ids preserved) plus this
   // interner's private delta. Fill the vector completely before taking
-  // pointers into it for the buckets.
-  T->Canon.reserve(Base + Canon.size());
+  // pointers into it for the buckets (the final move into the tier
+  // steals the buffer, so the pointers stay valid).
+  B.Canon.reserve(Base + Canon.size());
   if (Shared)
-    T->Canon.insert(T->Canon.end(), Shared->Canon.begin(),
-                    Shared->Canon.end());
-  T->Canon.insert(T->Canon.end(), Canon.begin(), Canon.end());
-  for (CanonId Id = 0; Id != static_cast<CanonId>(T->Canon.size()); ++Id) {
+    B.Canon.insert(B.Canon.end(), Shared->Canon.begin(),
+                   Shared->Canon.end());
+  B.Canon.insert(B.Canon.end(), Canon.begin(), Canon.end());
+  for (CanonId Id = 0; Id != static_cast<CanonId>(B.Canon.size()); ++Id) {
     // Precompute the lazily-filled mutable caches now, so tier lookups
     // are pure reads: concurrent workers must never write into these
     // graphs.
-    structuralHash(T->Canon[Id]);
-    T->Canon[Id].setInternCache(T->Epoch, Id);
+    structuralHash(B.Canon[Id]);
+    B.Canon[Id].setInternCache(B.Epoch, Id);
   }
 
   // Re-home the structural buckets: canonical representatives point at
@@ -230,11 +232,11 @@ std::shared_ptr<const FrozenInternTier> GraphInterner::freeze() const {
     for (const auto &[Hash, Entries] : Buckets)
       for (const auto &[Rep, Id] : Entries) {
         if (IsCanonical(Rep, Id)) {
-          T->StructBuckets[Hash].emplace_back(&T->Canon[Id], Id);
+          B.StructBuckets[Hash].emplace_back(&B.Canon[Id], Id);
         } else {
-          T->Aliases.push_back(*Rep);
-          structuralHash(T->Aliases.back());
-          T->StructBuckets[Hash].emplace_back(&T->Aliases.back(), Id);
+          B.Aliases.push_back(*Rep);
+          structuralHash(B.Aliases.back());
+          B.StructBuckets[Hash].emplace_back(&B.Aliases.back(), Id);
         }
       }
   };
@@ -247,8 +249,13 @@ std::shared_ptr<const FrozenInternTier> GraphInterner::freeze() const {
   });
 
   if (Shared)
-    T->AutoMap = Shared->AutoMap;
+    for (const auto &[Key, Id] : Shared->AutoMap)
+      B.AutoMap.emplace(Key, Id);
   for (const auto &[Key, Id] : AutoMap)
-    T->AutoMap.emplace(Key, Id);
+    B.AutoMap.emplace(Key, Id);
+
+  auto T = std::make_shared<const FrozenInternTier>(std::move(B));
+  if (SealStorage)
+    T->sealStorage();
   return T;
 }

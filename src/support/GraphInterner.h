@@ -41,6 +41,7 @@
 #ifndef GAIA_SUPPORT_GRAPHINTERNER_H
 #define GAIA_SUPPORT_GRAPHINTERNER_H
 
+#include "support/FrozenArena.h"
 #include "support/Hashing.h"
 #include "typegraph/Normalize.h"
 #include "typegraph/TypeGraph.h"
@@ -48,6 +49,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace gaia {
@@ -83,24 +85,78 @@ struct InternStats {
 /// signature and a (Epoch, id) intern cache, so concurrent readers never
 /// race on the lazily-filled mutable fields of TypeGraph. Construct via
 /// GraphInterner::freeze().
+///
+/// Freeze discipline (gaia-lint `freeze-fields` / `freeze-methods`):
+/// every field is const and no mutating member function exists, so the
+/// never-written-after-freeze contract is compiler-checked; freeze()
+/// stages the contents in a Builder and moves them into place. In audit
+/// builds (GAIA_AUDIT) the containers additionally live in a
+/// FrozenArena that is mprotect(PROT_READ)-ed once the tier is complete,
+/// so even a const_cast write faults.
 struct FrozenInternTier {
+  using BucketMap =
+      FrozenMap<uint64_t, FrozenVector<std::pair<const TypeGraph *,
+                                                 CanonId>>>;
+  using AutoKeyMap =
+      FrozenMap<std::vector<uint64_t>, CanonId, U64VectorHash>;
+
+  /// Mutable staging area for freeze(): same shape as the tier, storage
+  /// already drawn from the tier's arena in audit builds (so the final
+  /// move re-homes nothing).
+  struct Builder {
+    Builder()
+        : Arena(makeTierArena()),
+          Canon(makeFrozenContainer<FrozenVector<TypeGraph>>(Arena)),
+          Aliases(makeFrozenContainer<FrozenDeque<TypeGraph>>(Arena)),
+          StructBuckets(makeFrozenContainer<BucketMap>(Arena)),
+          AutoMap(makeFrozenContainer<AutoKeyMap>(Arena)) {}
+    std::shared_ptr<FrozenArena> Arena;
+    uint64_t Epoch = 0;
+    FrozenVector<TypeGraph> Canon;
+    FrozenDeque<TypeGraph> Aliases;
+    BucketMap StructBuckets;
+    AutoKeyMap AutoMap;
+  };
+
+  explicit FrozenInternTier(Builder &&B)
+      : Arena(std::move(B.Arena)), Epoch(B.Epoch),
+        Canon(std::move(B.Canon)), Aliases(std::move(B.Aliases)),
+        StructBuckets(std::move(B.StructBuckets)),
+        AutoMap(std::move(B.AutoMap)) {}
+
+  /// Container teardown writes into the storage it releases, so the last
+  /// reference lifts the audit seal before the members destruct.
+  ~FrozenInternTier() {
+    if (Arena)
+      Arena->unseal();
+  }
+
+  /// Audit-build storage arena (null otherwise). Declared first: it must
+  /// outlive the containers it backs.
+  const std::shared_ptr<FrozenArena> Arena;
   /// Fresh process-unique epoch tag of this tier. Copies of the stored
   /// canonical graphs carry it, so any interner layered over this tier
   /// re-interns them with a tag compare.
-  uint64_t Epoch = 0;
+  const uint64_t Epoch;
   /// Canonical representatives; the tier owns ids [0, Canon.size()).
-  std::vector<TypeGraph> Canon;
+  const FrozenVector<TypeGraph> Canon;
   /// Extra recorded shapes of known languages (deque: bucket entries
   /// hold pointers into it).
-  std::deque<TypeGraph> Aliases;
+  const FrozenDeque<TypeGraph> Aliases;
   /// Shape hash -> (representative graph, id).
-  std::unordered_map<uint64_t,
-                     std::vector<std::pair<const TypeGraph *, CanonId>>>
-      StructBuckets;
+  const BucketMap StructBuckets;
   /// Serialized minimal automaton -> id.
-  std::unordered_map<std::vector<uint64_t>, CanonId, U64VectorHash> AutoMap;
+  const AutoKeyMap AutoMap;
 
   uint32_t size() const { return static_cast<uint32_t>(Canon.size()); }
+
+  /// Seals the arena (audit builds): every later write to tier storage
+  /// faults. No-op without GAIA_AUDIT. Idempotent; const because it only
+  /// flips page protection on storage the tier already cannot mutate.
+  void sealStorage() const {
+    if (Arena)
+      Arena->seal();
+  }
 };
 
 /// Assigns canonical ids to normalized type graphs. Not thread-safe; one
@@ -143,8 +199,12 @@ public:
   uint32_t deltaSize() const { return static_cast<uint32_t>(Canon.size()); }
 
   /// Snapshots this interner (shared tier included, ids preserved) into
-  /// an immutable tier safe for unsynchronized concurrent lookups.
-  std::shared_ptr<const FrozenInternTier> freeze() const;
+  /// an immutable tier safe for unsynchronized concurrent lookups. By
+  /// default the tier's audit-build storage is sealed before returning;
+  /// OpCache::freeze() passes \p SealStorage = false so it can prime the
+  /// frozen graphs' topology caches first, then seals via sealStorage().
+  std::shared_ptr<const FrozenInternTier> freeze(bool SealStorage =
+                                                     true) const;
 
   const FrozenInternTier *sharedTier() const { return Shared.get(); }
 

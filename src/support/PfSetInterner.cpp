@@ -87,25 +87,30 @@ bool PfSetInterner::subsetWalk(PfSetId A, PfSetId B) const {
 }
 
 std::shared_ptr<const FrozenPfTier> PfSetInterner::freeze() const {
-  auto T = std::make_shared<FrozenPfTier>();
-  T->Epoch = nextPfEpoch();
+  FrozenPfTier::Builder B;
+  B.Epoch = nextPfEpoch();
   if (Shared) {
-    T->Pool = Shared->Pool;
-    T->Sets = Shared->Sets;
-    T->Buckets = Shared->Buckets;
+    B.Pool.assign(Shared->Pool.begin(), Shared->Pool.end());
+    B.Sets.assign(Shared->Sets.begin(), Shared->Sets.end());
+    for (const auto &[H, Ids] : Shared->Buckets) {
+      auto &Bucket = B.Buckets[H];
+      Bucket.assign(Ids.begin(), Ids.end());
+    }
   }
   // Append the private delta; private offsets shift by the tier pool
   // size, ids are preserved.
-  uint32_t PoolBase = static_cast<uint32_t>(T->Pool.size());
-  T->Pool.insert(T->Pool.end(), Pool.begin(), Pool.end());
-  T->Sets.reserve(T->Sets.size() + Sets.size());
+  uint32_t PoolBase = static_cast<uint32_t>(B.Pool.size());
+  B.Pool.insert(B.Pool.end(), Pool.begin(), Pool.end());
+  B.Sets.reserve(B.Sets.size() + Sets.size());
   for (const FrozenPfTier::Entry &E : Sets)
-    T->Sets.push_back({E.Offset + PoolBase, E.Size, E.Mask});
+    B.Sets.push_back({E.Offset + PoolBase, E.Size, E.Mask});
   for (const auto &[H, Ids] : Buckets) {
-    auto &Bucket = T->Buckets[H];
+    auto &Bucket = B.Buckets[H];
     for (PfSetId Id : Ids)
       if (Id >= Base) // tier ids were copied with the tier's buckets
         Bucket.push_back(Id);
   }
+  auto T = std::make_shared<const FrozenPfTier>(std::move(B));
+  T->sealStorage();
   return T;
 }

@@ -36,12 +36,14 @@
 #ifndef GAIA_SUPPORT_PFSETINTERNER_H
 #define GAIA_SUPPORT_PFSETINTERNER_H
 
+#include "support/FrozenArena.h"
 #include "support/Hashing.h"
 #include "support/StringInterner.h"
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace gaia {
@@ -66,21 +68,64 @@ struct PfSetStats {
 /// shared tier of the batch runtime. All lookups are const and all
 /// derived fields (masks, hashes) are precomputed, so concurrent readers
 /// never write. Construct via PfSetInterner::freeze().
+///
+/// Freeze discipline (gaia-lint `freeze-fields` / `freeze-methods`):
+/// every field is const, there is no mutating member function, and in
+/// audit builds (GAIA_AUDIT) the pooled elements, entry table and
+/// buckets live in a FrozenArena sealed to PROT_READ after freeze().
 struct FrozenPfTier {
   struct Entry {
     uint32_t Offset = 0; ///< into Pool
     uint32_t Size = 0;
     uint64_t Mask = 0; ///< element summary bits (bit = functor id % 64)
   };
+  using BucketMap = FrozenMap<uint64_t, FrozenVector<PfSetId>>;
+
+  /// Mutable staging area for freeze(); in audit builds its containers
+  /// already draw from the tier's arena.
+  struct Builder {
+    Builder()
+        : Arena(makeTierArena()),
+          Pool(makeFrozenContainer<FrozenVector<FunctorId>>(Arena)),
+          Sets(makeFrozenContainer<FrozenVector<Entry>>(Arena)),
+          Buckets(makeFrozenContainer<BucketMap>(Arena)) {}
+    std::shared_ptr<FrozenArena> Arena;
+    uint64_t Epoch = 0;
+    FrozenVector<FunctorId> Pool;
+    FrozenVector<Entry> Sets;
+    BucketMap Buckets;
+  };
+
+  explicit FrozenPfTier(Builder &&B)
+      : Arena(std::move(B.Arena)), Epoch(B.Epoch), Pool(std::move(B.Pool)),
+        Sets(std::move(B.Sets)), Buckets(std::move(B.Buckets)) {}
+
+  /// Container teardown writes into the storage it releases, so the last
+  /// reference lifts the audit seal before the members destruct.
+  ~FrozenPfTier() {
+    if (Arena)
+      Arena->unseal();
+  }
+
+  /// Audit-build storage arena (null otherwise); declared first so it
+  /// outlives the containers it backs.
+  const std::shared_ptr<FrozenArena> Arena;
   /// Fresh process-unique epoch tag of this tier; topology caches built
   /// against it carry this tag.
-  uint64_t Epoch = 0;
-  std::vector<FunctorId> Pool; ///< concatenated sorted elements
-  std::vector<Entry> Sets;     ///< the tier owns ids [0, Sets.size())
+  const uint64_t Epoch;
+  const FrozenVector<FunctorId> Pool; ///< concatenated sorted elements
+  const FrozenVector<Entry> Sets; ///< the tier owns ids [0, Sets.size())
   /// Element hash -> candidate ids (usually a single entry).
-  std::unordered_map<uint64_t, std::vector<PfSetId>> Buckets;
+  const BucketMap Buckets;
 
   uint32_t size() const { return static_cast<uint32_t>(Sets.size()); }
+
+  /// Seals the arena (audit builds): every later write to tier storage
+  /// faults. No-op without GAIA_AUDIT.
+  void sealStorage() const {
+    if (Arena)
+      Arena->seal();
+  }
 };
 
 /// Assigns canonical ids to sorted, duplicate-free functor-id sets. Not

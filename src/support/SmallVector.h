@@ -187,6 +187,8 @@ private:
 
   void appendRange(const T *First, const T *Last) {
     size_t Len = static_cast<size_t>(Last - First);
+    if (Len == 0)
+      return; // First may be null for an empty source (vector::data()).
     reserve(Count + Len);
     std::memcpy(Ptr + Count, First, Len * sizeof(T));
     Count += static_cast<uint32_t>(Len);

@@ -4,8 +4,9 @@
 
 #include "typegraph/Normalize.h"
 
+#include <algorithm>
 #include <cctype>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 using namespace gaia;
@@ -140,12 +141,19 @@ public:
         *Err = "no rules";
       return std::nullopt;
     }
+    // Deterministic diagnostic regardless of hash order: report the
+    // alphabetically first undefined nonterminal.
+    std::vector<std::string_view> Undefined;
     for (const auto &[Name, Info] : NonTerms)
-      if (!Info.Defined) {
-        if (Err)
-          *Err = "undefined nonterminal " + Name;
-        return std::nullopt;
-      }
+      if (!Info.Defined)
+        Undefined.push_back(Name);
+    if (!Undefined.empty()) {
+      if (Err)
+        *Err = "undefined nonterminal " +
+               std::string(*std::min_element(Undefined.begin(),
+                                             Undefined.end()));
+      return std::nullopt;
+    }
     G.setRoot(NonTerms.at(RuleOrder.front()).Node);
     return normalizeGraph(G, Syms);
   }
@@ -291,7 +299,7 @@ private:
   Token Tok;
   std::string Error;
   TypeGraph G;
-  std::map<std::string, NTInfo> NonTerms;
+  std::unordered_map<std::string, NTInfo> NonTerms;
   std::vector<std::string> RuleOrder;
 };
 

@@ -231,7 +231,7 @@ TypeGraph OpCache::constructOf(FunctorId Fn,
 }
 
 std::shared_ptr<const FrozenOpTier> OpCache::freeze() const {
-  auto T = std::make_shared<FrozenOpTier>();
+  FrozenOpTier::Builder B;
 
   // Pf pre-pass: make sure every pf-set a widening over a tier graph
   // could ask for — i.e. every or-vertex pf-set of every canonical
@@ -240,41 +240,48 @@ std::shared_ptr<const FrozenOpTier> OpCache::freeze() const {
   // graphs are a bonus for the rest of this cache's lifetime.)
   for (CanonId Id = 0; Id != Interned.size(); ++Id)
     Interned.graph(Id).topology(Syms, WScratch.PfSets);
-  T->Pf = WScratch.PfSets.freeze();
+  B.Pf = WScratch.PfSets.freeze();
 
-  T->Intern = Interned.freeze();
+  // Unsealed: the topology priming below still writes the frozen graphs'
+  // lazily-filled caches. Sealed right after, before any worker can see
+  // the tier.
+  B.Intern = Interned.freeze(/*SealStorage=*/false);
   // Prime every canonical graph's topology cache against the *frozen*
   // pf tier: the pre-pass guarantees every lookup hits the tier, so the
   // caches are tagged with the tier's epoch and are valid under every
   // worker interner layered over it — concurrent widenings never write.
   {
-    PfSetInterner Primer(T->Pf);
-    for (CanonId Id = 0; Id != T->Intern->size(); ++Id) {
-      const TypeGraph &G = T->Intern->Canon[Id];
+    PfSetInterner Primer(B.Pf);
+    for (CanonId Id = 0; Id != B.Intern->size(); ++Id) {
+      const TypeGraph &G = B.Intern->Canon[Id];
       G.topology(Syms, Primer);
       assert(Primer.honorsEpoch(G.topoCacheIfPresent()->PfEpoch) &&
-             G.topoCacheIfPresent()->PfEpoch == T->Pf->Epoch &&
+             G.topoCacheIfPresent()->PfEpoch == B.Pf->Epoch &&
              "frozen graph topology must be tier-tagged");
     }
   }
-  T->Norm = Norm;
+  B.Intern->sealStorage();
+  B.Norm = Norm;
   // Merge: the shared tier's results first, then the private delta. Keys
   // never conflict on semantics (both tiers record the same pure
   // function of the operand languages), so emplace's keep-first policy
   // is immaterial.
   if (Shared) {
-    T->Incl = Shared->Incl;
-    T->Union = Shared->Union;
-    T->Inter = Shared->Inter;
-    T->Widen = Shared->Widen;
-    T->Restrict = Shared->Restrict;
-    T->Construct = Shared->Construct;
+    B.Incl.insert(Shared->Incl.begin(), Shared->Incl.end());
+    B.Union.insert(Shared->Union.begin(), Shared->Union.end());
+    B.Inter.insert(Shared->Inter.begin(), Shared->Inter.end());
+    B.Widen.insert(Shared->Widen.begin(), Shared->Widen.end());
+    B.Restrict.insert(Shared->Restrict.begin(), Shared->Restrict.end());
+    B.Construct.insert(Shared->Construct.begin(), Shared->Construct.end());
   }
-  T->Incl.insert(Incl.begin(), Incl.end());
-  T->Union.insert(Union.begin(), Union.end());
-  T->Inter.insert(Inter.begin(), Inter.end());
-  T->Widen.insert(Widen.begin(), Widen.end());
-  T->Restrict.insert(Restrict.begin(), Restrict.end());
-  T->Construct.insert(Construct.begin(), Construct.end());
+  B.Incl.insert(Incl.begin(), Incl.end());
+  B.Union.insert(Union.begin(), Union.end());
+  B.Inter.insert(Inter.begin(), Inter.end());
+  B.Widen.insert(Widen.begin(), Widen.end());
+  B.Restrict.insert(Restrict.begin(), Restrict.end());
+  B.Construct.insert(Construct.begin(), Construct.end());
+
+  auto T = std::make_shared<const FrozenOpTier>(std::move(B));
+  T->sealStorage();
   return T;
 }

@@ -69,26 +69,86 @@ struct RestrictMemo {
 /// unsynchronized concurrent readers. Construct via OpCache::freeze().
 /// The recorded results are valid only for runs whose normalization and
 /// widening configuration matches the one the source cache ran with.
+///
+/// Freeze discipline (gaia-lint `freeze-fields` / `freeze-methods`):
+/// every field is const and no mutating member function exists; in audit
+/// builds (GAIA_AUDIT) the result maps live in a FrozenArena sealed to
+/// PROT_READ once freeze() completes.
 struct FrozenOpTier {
-  std::shared_ptr<const FrozenInternTier> Intern;
+  using PairU8Map =
+      FrozenMap<std::pair<CanonId, CanonId>, uint8_t, PairHash>;
+  using PairIdMap =
+      FrozenMap<std::pair<CanonId, CanonId>, CanonId, PairHash>;
+  using RestrictMap =
+      FrozenMap<std::pair<CanonId, uint32_t>, RestrictMemo, PairHash>;
+  using ConstructMap =
+      FrozenMap<std::vector<uint32_t>, CanonId, IdVectorHash>;
+
+  /// Mutable staging area for freeze(); in audit builds the maps already
+  /// draw from the tier's arena.
+  struct Builder {
+    Builder()
+        : Arena(makeTierArena()),
+          Incl(makeFrozenContainer<PairU8Map>(Arena)),
+          Union(makeFrozenContainer<PairIdMap>(Arena)),
+          Inter(makeFrozenContainer<PairIdMap>(Arena)),
+          Widen(makeFrozenContainer<PairIdMap>(Arena)),
+          Restrict(makeFrozenContainer<RestrictMap>(Arena)),
+          Construct(makeFrozenContainer<ConstructMap>(Arena)) {}
+    std::shared_ptr<FrozenArena> Arena;
+    std::shared_ptr<const FrozenInternTier> Intern;
+    std::shared_ptr<const FrozenPfTier> Pf;
+    NormalizeOptions Norm;
+    PairU8Map Incl;
+    PairIdMap Union;
+    PairIdMap Inter;
+    PairIdMap Widen;
+    RestrictMap Restrict;
+    ConstructMap Construct;
+  };
+
+  explicit FrozenOpTier(Builder &&B)
+      : Arena(std::move(B.Arena)), Intern(std::move(B.Intern)),
+        Pf(std::move(B.Pf)), Norm(B.Norm), Incl(std::move(B.Incl)),
+        Union(std::move(B.Union)), Inter(std::move(B.Inter)),
+        Widen(std::move(B.Widen)), Restrict(std::move(B.Restrict)),
+        Construct(std::move(B.Construct)) {}
+
+  /// Container teardown writes into the storage it releases, so the last
+  /// reference lifts the audit seal before the members destruct.
+  ~FrozenOpTier() {
+    if (Arena)
+      Arena->unseal();
+  }
+
+  /// Audit-build storage arena (null otherwise); declared first so it
+  /// outlives the maps it backs.
+  const std::shared_ptr<FrozenArena> Arena;
+  const std::shared_ptr<const FrozenInternTier> Intern;
   /// Frozen pf-set tier (support/PfSetInterner.h). Every pf-set of every
   /// canonical graph in Intern is recorded here, and every canonical
   /// graph's topology cache is primed against it at freeze() time under
   /// this tier's epoch — so concurrent widenings over tier graphs are
   /// pure reads.
-  std::shared_ptr<const FrozenPfTier> Pf;
-  NormalizeOptions Norm;
-  std::unordered_map<std::pair<CanonId, CanonId>, uint8_t, PairHash> Incl;
-  std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Union;
-  std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Inter;
-  std::unordered_map<std::pair<CanonId, CanonId>, CanonId, PairHash> Widen;
-  std::unordered_map<std::pair<CanonId, uint32_t>, RestrictMemo, PairHash>
-      Restrict;
-  std::unordered_map<std::vector<uint32_t>, CanonId, IdVectorHash> Construct;
+  const std::shared_ptr<const FrozenPfTier> Pf;
+  const NormalizeOptions Norm;
+  const PairU8Map Incl;
+  const PairIdMap Union;
+  const PairIdMap Inter;
+  const PairIdMap Widen;
+  const RestrictMap Restrict;
+  const ConstructMap Construct;
 
   uint64_t resultCount() const {
     return Incl.size() + Union.size() + Inter.size() + Widen.size() +
            Restrict.size() + Construct.size();
+  }
+
+  /// Seals the arena (audit builds): every later write to tier storage
+  /// faults. No-op without GAIA_AUDIT.
+  void sealStorage() const {
+    if (Arena)
+      Arena->seal();
   }
 };
 

@@ -57,6 +57,7 @@ static TypeGraph graftReplaceImpl(const TypeGraph &G, NodeId Va,
   }
   assert(Topo.Parent[Va] != InvalidNode &&
          "non-root vertex must have a parent");
+  (void)Topo; // assert-only under NDEBUG
   // Redirect every edge into Va. Besides the tree-parent edge, Va may
   // have incoming back/cross edges (cycle introduction creates them);
   // leaving any of them in place would keep the replaced subtree alive.

@@ -1,0 +1,15 @@
+// Fixture: std::map on a hot path. Expect: banned-container.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gaia {
+
+uint32_t countRules(const std::string &Name) {
+  std::map<std::string, uint32_t> Rules; // BAD: ordered map on a hot path
+  Rules[Name] = 1;
+  return Rules.size();
+}
+
+} // namespace gaia

@@ -1,0 +1,18 @@
+// Fixture: rand() on a hot path. Expect: banned-rand. The seeded
+// local mt19937 is the sanctioned pattern and must not be flagged.
+
+#include <cstdlib>
+#include <random>
+
+namespace gaia {
+
+int pickAlt(int N) {
+  return rand() % N; // BAD: non-reproducible randomness on a hot path
+}
+
+int pickAltSeeded(int N, unsigned Seed) {
+  std::mt19937 Rng(Seed); // ok: deterministic under a fixed seed
+  return static_cast<int>(Rng() % static_cast<unsigned>(N));
+}
+
+} // namespace gaia

@@ -1,0 +1,39 @@
+// Fixture: a TypeGraph mutator that forgets the derived-cache
+// invalidation hook. Expect: epoch-invalidate on `setRoot` (in-class
+// body) and on `clearNodes` (out-of-class definition); `addNode`
+// invalidates and must not be flagged.
+
+#include <cstdint>
+#include <vector>
+
+namespace gaia {
+
+class TypeGraph {
+public:
+  void setRoot(uint32_t Root) {
+    RootId = Root; // BAD: mutation without invalidateDerived()
+  }
+
+  uint32_t addNode() { // ok: calls the hook
+    invalidateDerived();
+    Nodes.push_back(0);
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+
+  void clearNodes();
+
+  uint32_t root() const { return RootId; } // ok: const
+
+private:
+  void invalidateDerived() { Sig = 0; }
+
+  std::vector<uint32_t> Nodes;
+  uint32_t RootId = 0;
+  uint64_t Sig = 0;
+};
+
+void TypeGraph::clearNodes() {
+  Nodes.clear(); // BAD: mutation without invalidateDerived()
+}
+
+} // namespace gaia

@@ -1,0 +1,18 @@
+// Fixture: a frozen tier type exposing a mutating entry point.
+// Expect: freeze-methods on `bump`.
+
+#include <cstdint>
+
+namespace gaia {
+
+struct FrozenCounterTier {
+  explicit FrozenCounterTier(uint64_t N) : N(N) {} // ok: constructor
+  ~FrozenCounterTier() = default;                  // ok: destructor
+
+  uint64_t value() const { return N; } // ok: const
+  void bump() { /* BAD: non-const member function on a frozen tier */ }
+
+  const uint64_t N;
+};
+
+} // namespace gaia

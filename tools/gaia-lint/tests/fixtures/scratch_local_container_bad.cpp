@@ -1,0 +1,28 @@
+// Fixture: a scratch-taking function that reintroduces per-call
+// allocation. Expect: scratch-local-container on the local vector in
+// `widenStep`; `widenOk` only binds references and must not be flagged.
+
+#include <cstdint>
+#include <vector>
+
+namespace gaia {
+
+struct WideningScratch {
+  std::vector<uint32_t> Stack;
+  std::vector<uint32_t> Marks;
+};
+
+uint32_t widenStep(WideningScratch &W) {
+  std::vector<uint32_t> Tmp; // BAD: per-call allocation beside a scratch
+  Tmp.push_back(1);
+  W.Stack.push_back(Tmp.back());
+  return static_cast<uint32_t>(W.Stack.size());
+}
+
+uint32_t widenOk(WideningScratch &W) {
+  std::vector<uint32_t> &Stack = W.Stack; // ok: reference into the scratch
+  Stack.clear();
+  return static_cast<uint32_t>(Stack.size());
+}
+
+} // namespace gaia
