@@ -32,9 +32,34 @@ bench/BENCH_throughput.baseline.json and fails when
   is skipped with a note (first run seeds it); the identity check always
   runs.
 
+Per-program RSS gate (inside the table 3 gate) — runs only when BOTH the
+current snapshot and the baseline report peak_rss_per_program: true
+(the /proc/self/clear_refs watermark reset worked, so the figures are
+per-program rather than the monotone process-wide getrusage maximum).
+Otherwise the RSS columns are printed as notes and the gate is skipped
+with a logged notice — gating monotone numbers would fail on run order,
+not on memory use. Gated programs fail at RSS_TOLERANCE above baseline;
+programs below RSS_FLOOR_KB are noise and never gated.
+
+Lifecycle gate (--lifecycle) — checks BENCH_tier_lifecycle.json
+(bench/tier_lifecycle soak) and fails when
+
+  * identical_all is false (a promoted or compacted tier changed an
+    analysis result: tier rotation must be observationally invisible), or
+  * the post-compaction tier byte curve does not plateau: once
+    compaction has run, every later generation's tier_bytes must stay
+    within PLATEAU_TOLERANCE of the first compacted generation's —
+    steady-state churn must be reclaimed, not accumulated.
+
+  The lifecycle gate is self-contained (no baseline file): the plateau
+  is a property of one soak run, deterministic because the touched-id
+  sets are (jobs are deterministic; the union over a batch is
+  order-independent).
+
 Usage:
   check_bench_regression.py <table3.json> [<table3-baseline.json>]
       [--throughput <throughput.json> [<throughput-baseline.json>]]
+      [--lifecycle <tier_lifecycle.json>]
 Exit status: 0 ok, 1 regression/non-convergence/divergence, 2 bad invocation.
 """
 
@@ -57,6 +82,16 @@ PER_PROGRAM_TOLERANCE = 0.50
 PER_PROGRAM_FLOOR = 0.005  # seconds
 # (min hardware threads, required 8-worker-over-1-worker scaling).
 SCALING_FLOORS = [(8, 3.0), (4, 1.5)]
+# Per-program RSS gate: only live when both snapshots carry real
+# per-program watermarks (peak_rss_per_program: true). Allocator noise
+# and page-granularity effects dominate small figures, hence the floor.
+RSS_TOLERANCE = 0.50
+RSS_FLOOR_KB = 2048
+# Lifecycle plateau: post-compaction generations may wobble with the
+# compaction cadence (entries promoted between compactions) but must not
+# trend upward — 25% headroom over the first compacted generation.
+PLATEAU_TOLERANCE = 0.25
+LIFECYCLE_KEYS = ("identical_all", "runs", "compaction_start_generation")
 
 
 def fail_config(msg):
@@ -130,6 +165,20 @@ def check_table3(current_path, baseline_path):
     if cur > limit:
         failed = True
 
+    # Per-program RSS is gated only when both runs produced true
+    # per-program watermarks; the getrusage fallback is the monotone
+    # process-wide maximum, where a "regression" is an artifact of run
+    # order, not of memory use.
+    rss_gated = current.get("peak_rss_per_program", False) and baseline.get(
+        "peak_rss_per_program", False
+    )
+    if not rss_gated:
+        print(
+            "per-program RSS not gated: peak_rss_per_program is false in "
+            "the snapshot or the baseline (watermark reset unavailable; "
+            "figures are the monotone getrusage maximum)"
+        )
+
     # Per-program deltas. Programs above the noise floor are gated at
     # PER_PROGRAM_TOLERANCE so a regression confined to one program
     # (e.g. the widening-heavy PR/RE) cannot hide inside the total.
@@ -150,6 +199,17 @@ def check_table3(current_path, baseline_path):
         else:
             verdict = f"REGRESSION (limit {limit:.4f}s at +{PER_PROGRAM_TOLERANCE:.0%})"
             failed = True
+        if rss_gated and rss is not None and b.get("peak_rss_kb") is not None:
+            rss_base = b["peak_rss_kb"]
+            rss_limit = rss_base * (1.0 + RSS_TOLERANCE)
+            if rss_base < RSS_FLOOR_KB:
+                pass  # below the noise floor: note only
+            elif rss > rss_limit:
+                verdict += (
+                    f"  RSS REGRESSION ({rss} KiB vs {rss_base} KiB, "
+                    f"limit {rss_limit:.0f} at +{RSS_TOLERANCE:.0%})"
+                )
+                failed = True
         print(
             f"  {prog['key']:4s} {b['solve_seconds']:8.4f}s -> "
             f"{prog['solve_seconds']:8.4f}s ({delta:+.4f}s){rss_note}  {verdict}"
@@ -209,9 +269,63 @@ def check_throughput(current_path, baseline_path):
     return failed
 
 
+def check_lifecycle(path):
+    current = load_snapshot(path, LIFECYCLE_KEYS, "lifecycle snapshot")
+
+    failed = False
+
+    if not current.get("identical_all", False):
+        print(
+            "FAIL: a promoted or compacted tier changed an analysis result "
+            "(tier rotation must be observationally invisible)"
+        )
+        failed = True
+
+    runs = current["runs"]
+    if not isinstance(runs, list) or not runs:
+        fail_config(f"lifecycle snapshot '{path}': 'runs' must be a non-empty list")
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict) or "tier_bytes" not in run:
+            fail_config(
+                f"lifecycle snapshot '{path}': runs[{i}] is missing tier_bytes"
+            )
+
+    start = current["compaction_start_generation"]
+    if not isinstance(start, int) or start < 0 or start >= len(runs):
+        print(
+            f"lifecycle plateau not gated: no compaction ran "
+            f"(compaction_start_generation = {start})"
+        )
+        return failed
+
+    # Plateau: once compaction is live, the byte curve may wobble with
+    # the cadence but must not trend upward — steady-state churn has to
+    # be reclaimed.
+    anchor = runs[start]["tier_bytes"]
+    limit = anchor * (1.0 + PLATEAU_TOLERANCE)
+    worst = max(r["tier_bytes"] for r in runs[start:])
+    verdict = "ok" if worst <= limit else "MEMORY GROWTH"
+    print(
+        f"lifecycle plateau: tier_bytes {anchor} at generation {start}, "
+        f"worst {worst} after (limit {limit:.0f} at +{PLATEAU_TOLERANCE:.0%}) "
+        f"-> {verdict}"
+    )
+    if worst > limit:
+        failed = True
+    return failed
+
+
 def main(argv):
     args = argv[1:]
     tp_current = tp_baseline = None
+    lc_current = None
+    if "--lifecycle" in args:
+        i = args.index("--lifecycle")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        lc_current = args[i + 1]
+        args = args[:i] + args[i + 2 :]
     if "--throughput" in args:
         i = args.index("--throughput")
         tail = args[i + 1 :]
@@ -232,6 +346,8 @@ def main(argv):
     failed = check_table3(args[0], table3_baseline)
     if tp_current is not None:
         failed = check_throughput(tp_current, tp_baseline) or failed
+    if lc_current is not None:
+        failed = check_lifecycle(lc_current) or failed
 
     return 1 if failed else 0
 

@@ -32,6 +32,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <sys/resource.h>
 #include <thread>
 #include <vector>
 
@@ -63,6 +64,12 @@ struct WorkerRun {
   BatchStats St;
   bool Identical = true;
 };
+
+long peakRssKb() {
+  struct rusage U {};
+  getrusage(RUSAGE_SELF, &U);
+  return U.ru_maxrss; // KiB on Linux
+}
 
 } // namespace
 
@@ -193,13 +200,26 @@ int main(int argc, char **argv) {
           I + 1 != Runs.size() ? "," : "");
     }
     double Scaling = Base > 0 ? Last.St.JobsPerSecond / Base : 0;
+    // Total jobs executed across all measured + untimed waves (2 waves x
+    // 4 worker counts), normalized per 10k jobs: the steady-state memory
+    // figure the lifecycle budget machinery targets.
+    size_t Executed = Batch.size() * 2 * Runs.size();
+    double RssPer10k =
+        Executed ? double(peakRssKb()) * 10000.0 / double(Executed) : 0;
     std::fprintf(F,
                  "  ],\n  \"jobs_per_sec_1w\": %.2f,\n"
                  "  \"jobs_per_sec_max\": %.2f,\n"
                  "  \"scaling_8w_over_1w\": %.3f,\n"
                  "  \"scaling_efficiency_8w\": %.3f,\n"
+                 "  \"tier_bytes\": %llu,\n"
+                 "  \"tier_arena_bytes\": %llu,\n"
+                 "  \"peak_rss_kb\": %ld,\n"
+                 "  \"peak_rss_per_10k_jobs\": %.1f,\n"
                  "  \"identical_all\": %s\n}\n",
                  Base, MaxJps, Scaling, Scaling / 8.0,
+                 static_cast<unsigned long long>(Cache->tierBytes()),
+                 static_cast<unsigned long long>(Cache->stats().ArenaBytes),
+                 peakRssKb(), RssPer10k,
                  AllIdentical ? "true" : "false");
     std::fclose(F);
     std::printf("wrote %s (max %.1f jobs/s, 8w/1w scaling %.2fx)\n",

@@ -188,6 +188,11 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
       R.Stats.PfSetHits = Ops->pfStats().Hits;
       R.Stats.PfSetMisses = Ops->pfStats().Misses;
       R.Stats.PfSetSharedHits = Ops->pfStats().SharedHits;
+      // Harvest the hot delta entries before the per-run cache dies —
+      // only for owned caches: a warmup's external cache accumulates
+      // across calls and is frozen wholesale instead.
+      if (Opts.CollectDelta && Owned)
+        R.Delta = Owned->harvestDelta(Opts.DeltaMinHits);
     }
   } else {
     PFLeaf::Context C{Syms};

@@ -35,6 +35,8 @@ JobOutcome AnalysisPool::runOne(const AnalysisJob &Job,
   auto Start = std::chrono::steady_clock::now();
   AnalyzerOptions JobOpts = Options.Opts;
   JobOpts.Shared = Options.Shared;
+  JobOpts.CollectDelta = Options.CollectDeltas;
+  JobOpts.DeltaMinHits = Options.DeltaMinHits;
   O.Result = analyzeProgram(Job.Source, Job.GoalSpec, JobOpts);
   O.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
@@ -70,6 +72,11 @@ void AnalysisPool::workerLoop(uint32_t WorkerIndex) {
       }
     }
   }
+}
+
+void AnalysisPool::setShared(std::shared_ptr<const SharedCache> Shared) {
+  std::lock_guard<std::mutex> L(M);
+  Options.Shared = std::move(Shared);
 }
 
 std::vector<JobOutcome> AnalysisPool::run(const std::vector<AnalysisJob> &Jobs,

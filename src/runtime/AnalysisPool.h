@@ -36,6 +36,12 @@ struct PoolOptions {
   std::shared_ptr<const SharedCache> Shared;
   /// Analyzer configuration applied to every job of a batch.
   AnalyzerOptions Opts;
+  /// Harvest each job's hot delta-cache entries into
+  /// JobOutcome::Result.Delta (AnalyzerOptions::CollectDelta per job).
+  /// The lifecycle controller feeds them into promoteAndRefreeze.
+  bool CollectDeltas = false;
+  /// Per-entry hit threshold for the harvest.
+  uint32_t DeltaMinHits = 2;
 };
 
 /// One finished job.
@@ -81,6 +87,13 @@ public:
   /// Aggregate throughput figures land in \p Stats when non-null.
   std::vector<JobOutcome> run(const std::vector<AnalysisJob> &Jobs,
                               BatchStats *Stats = nullptr);
+
+  /// Replaces the shared tier jobs of subsequent batches read through.
+  /// Safe between run() calls (the tier-lifecycle rotation point): run()
+  /// is not re-entrant, so no batch is in flight, and parked workers
+  /// re-acquire the pool mutex before touching options — the store here
+  /// happens-before their next claim.
+  void setShared(std::shared_ptr<const SharedCache> Shared);
 
 private:
   /// One dispatched batch. Owns copies of the jobs and the result slots:

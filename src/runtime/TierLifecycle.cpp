@@ -1,0 +1,82 @@
+//===- runtime/TierLifecycle.cpp -------------------------------------------=//
+
+#include "runtime/TierLifecycle.h"
+
+#include <cassert>
+
+using namespace gaia;
+
+TierLifecycle::TierLifecycle(std::shared_ptr<const SharedCache> Initial,
+                             LifecyclePolicy P)
+    : Tier(std::move(Initial)), Policy(P) {
+  assert(Tier && "lifecycle needs an initial tier");
+}
+
+void TierLifecycle::compact(const std::shared_ptr<const SharedCache> &Base,
+                            uint32_t KeepGens, bool Eviction) {
+  CompactionPolicy CP;
+  CP.KeepGens = KeepGens;
+  Tier = Base->compactAndRefreeze(CP);
+  ++St.Compactions;
+  if (Eviction)
+    ++St.Evictions;
+  St.DroppedGraphs += Tier->stats().DroppedGraphs;
+  BatchesSinceCompact = 0;
+}
+
+const std::shared_ptr<const SharedCache> &
+TierLifecycle::endBatch(const std::vector<JobOutcome> &Outcomes) {
+  ++St.Batches;
+  ++BatchesSinceCompact;
+
+  // Promotion: merge the batch's surviving hot deltas into tier N+1.
+  // Jobs without a delta contribute nothing (the common steady-state
+  // case once the tier already holds everything hot).
+  std::vector<std::shared_ptr<const CacheDelta>> Deltas;
+  for (const JobOutcome &O : Outcomes)
+    if (O.Result.Delta)
+      Deltas.push_back(O.Result.Delta);
+  if (!Deltas.empty()) {
+    Tier = Tier->promoteAndRefreeze(Deltas);
+    ++St.Promotions;
+    St.PromotedEntries += Tier->stats().AbsorbedEntries;
+  }
+
+  // Generation boundary: everything the *next* batch touches is tagged
+  // with the new generation; entries untouched for KeepGens generations
+  // become compaction fodder.
+  Tier->ops()->Intern->advanceGeneration();
+
+  // All compactions this rotation rebuild from the SAME base tier: a
+  // freshly compacted tier restarts its touch history at generation 0
+  // (every survivor is live by definition), so tightening the window on
+  // one would drop nothing — eviction retries must re-read the history
+  // the batches actually wrote.
+  const std::shared_ptr<const SharedCache> Base = Tier;
+  bool TriedCurrentKeep = false;
+  if (Policy.CompactEvery != 0 &&
+      BatchesSinceCompact >= Policy.CompactEvery) {
+    compact(Base, Policy.KeepGens, /*Eviction=*/false);
+    TriedCurrentKeep = true;
+  }
+
+  // Budget eviction: shrink the liveness window one generation at a
+  // time until the tier fits. KeepGens = 0 keeps only entries touched in
+  // the latest generation — if the tier still exceeds the budget then,
+  // the working set simply doesn't fit and we stop (the budget is a
+  // target, not a guarantee against an oversized working set).
+  if (Policy.MaxTierBytes != 0) {
+    uint32_t Keep = Policy.KeepGens;
+    while (Tier->tierBytes() > Policy.MaxTierBytes) {
+      if (TriedCurrentKeep) {
+        if (Keep == 0)
+          break;
+        --Keep;
+      }
+      compact(Base, Keep, /*Eviction=*/true);
+      TriedCurrentKeep = true;
+    }
+  }
+
+  return Tier;
+}

@@ -138,10 +138,19 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
   // here as-is.
   if (G.internEpoch() == Epoch) {
     ++St.IdHits;
-    return G.internId();
+    CanonId Id = G.internId();
+    // A shared-tier id can be cached under this interner's own epoch
+    // (alias shapes recorded privately resolve to tier ids), so the
+    // liveness signal routes on the id, not on the cache's epoch.
+    if (Id < Base)
+      Shared->touch(Id);
+    else
+      ++DeltaHits[Id - Base];
+    return Id;
   }
   if (Shared && G.internEpoch() == Shared->Epoch) {
     ++St.SharedHits;
+    Shared->touch(G.internId());
     return G.internId();
   }
 
@@ -157,6 +166,7 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
       for (const auto &[Rep, Id] : BucketIt->second)
         if (structuralEqual(*Rep, G)) {
           ++St.SharedHits;
+          Shared->touch(Id);
           G.setInternCache(Shared->Epoch, Id);
           return Id;
         }
@@ -167,6 +177,10 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
     if (structuralEqual(*Rep, G)) {
       ++St.StructHits;
       G.setInternCache(Epoch, Id);
+      if (Id < Base)
+        Shared->touch(Id);
+      else
+        ++DeltaHits[Id - Base];
       return Id;
     }
 
@@ -177,6 +191,7 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
       // New shape of a language the shared tier knows: record the shape
       // privately so the next structural lookup short-circuits.
       ++St.SharedHits;
+      Shared->touch(SharedIt->second);
       Aliases.push_back(G);
       Bucket.emplace_back(&Aliases.back(), SharedIt->second);
       G.setInternCache(Shared->Epoch, SharedIt->second);
@@ -188,6 +203,9 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
     // New shape of a known language: remember it so the next structural
     // lookup of this shape short-circuits.
     ++St.AutoHits;
+    // The private automaton map only records privately assigned ids
+    // (>= Base), so this is always a delta-heat tick.
+    ++DeltaHits[It->second - Base];
     Aliases.push_back(G);
     Bucket.emplace_back(&Aliases.back(), It->second);
     G.setInternCache(Epoch, It->second);
@@ -197,6 +215,7 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
   ++St.Misses;
   CanonId Id = Base + static_cast<CanonId>(Canon.size());
   Canon.push_back(G);
+  DeltaHits.push_back(0);
   Canon.back().setInternCache(Epoch, Id);
   Bucket.emplace_back(&Canon.back(), Id);
   AutoMap.emplace(std::move(AKey), Id);
@@ -209,11 +228,19 @@ GraphInterner::freeze(bool SealStorage) const {
   FrozenInternTier::Builder B;
   B.Epoch = nextInternerEpoch();
 
-  // Canonical graphs: the shared tier's prefix (ids preserved) plus this
-  // interner's private delta. Fill the vector completely before taking
-  // pointers into it for the buckets (the final move into the tier
-  // steals the buffer, so the pointers stay valid).
-  B.Canon.reserve(Base + Canon.size());
+  // Stacking preserves every id: the relocation from the (shared tier +
+  // delta) id space into the new tier is the identity table. Compaction
+  // (runtime/SharedCache.cpp) is the rebuild with a non-trivial table;
+  // both route every cross-tier id through the RelocationTable API, per
+  // the gaia-lint relocation-remap rule.
+  const RelocationTable<CanonId> Reloc =
+      RelocationTable<CanonId>::identity(size());
+
+  // Canonical graphs: the shared tier's prefix plus this interner's
+  // private delta, at their relocated ids. Fill the vector completely
+  // before taking pointers into it for the buckets (the final move into
+  // the tier steals the buffer, so the pointers stay valid).
+  B.Canon.reserve(Reloc.size());
   if (Shared)
     B.Canon.insert(B.Canon.end(), Shared->Canon.begin(),
                    Shared->Canon.end());
@@ -231,12 +258,13 @@ GraphInterner::freeze(bool SealStorage) const {
   auto AddBuckets = [&](const auto &Buckets, auto IsCanonical) {
     for (const auto &[Hash, Entries] : Buckets)
       for (const auto &[Rep, Id] : Entries) {
+        CanonId New = Reloc.map(Id);
         if (IsCanonical(Rep, Id)) {
-          B.StructBuckets[Hash].emplace_back(&B.Canon[Id], Id);
+          B.StructBuckets[Hash].emplace_back(&B.Canon[New], New);
         } else {
           B.Aliases.push_back(*Rep);
           structuralHash(B.Aliases.back());
-          B.StructBuckets[Hash].emplace_back(&B.Aliases.back(), Id);
+          B.StructBuckets[Hash].emplace_back(&B.Aliases.back(), New);
         }
       }
   };
@@ -245,14 +273,14 @@ GraphInterner::freeze(bool SealStorage) const {
       return Rep == &Shared->Canon[Id];
     });
   AddBuckets(StructBuckets, [&](const TypeGraph *Rep, CanonId Id) {
-    return Id >= Base && Rep == &Canon[Id - Base];
+    return Id >= Base && Rep == &graph(Id);
   });
 
   if (Shared)
     for (const auto &[Key, Id] : Shared->AutoMap)
-      B.AutoMap.emplace(Key, Id);
+      B.AutoMap.emplace(Key, Reloc.map(Id));
   for (const auto &[Key, Id] : AutoMap)
-    B.AutoMap.emplace(Key, Id);
+    B.AutoMap.emplace(Key, Reloc.map(Id));
 
   auto T = std::make_shared<const FrozenInternTier>(std::move(B));
   if (SealStorage)

@@ -1,0 +1,92 @@
+//===- typegraph/CacheDelta.h - Portable harvest of hot cache entries -----==//
+///
+/// \file
+/// A value-carrying snapshot of cache entries destined for another
+/// OpCache: the currency of the tier lifecycle (runtime/SharedCache.h).
+/// Two producers fill one:
+///
+///   - OpCache::harvestDelta — the hot entries of a job's private delta
+///     (per-entry hit counters cleared a threshold), harvested after the
+///     job so a later promoteAndRefreeze can merge them into the next
+///     frozen tier instead of discarding them with the worker cache;
+///   - SharedCache compaction — the entries of a frozen tier still live
+///     under the generational touch policy, re-absorbed into a fresh
+///     cache to rebuild the tier densely.
+///
+/// Entries carry operand and result *graphs by value* plus a snapshot of
+/// the symbol table they were built against — never raw canonical ids,
+/// which are meaningless outside their source interner. The consumer
+/// (OpCache::absorbDelta) relocates functor ids by (name, arity) through
+/// a RelocationTable and re-interns every graph, so a delta is portable
+/// across workers, tiers, and compaction rebuilds; exactness is
+/// preserved because every cached operation is a pure function of the
+/// operand languages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_TYPEGRAPH_CACHEDELTA_H
+#define GAIA_TYPEGRAPH_CACHEDELTA_H
+
+#include "support/GraphInterner.h"
+#include "support/StringInterner.h"
+#include "typegraph/TypeGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+struct CacheDelta {
+  /// A hot language worth re-interning into the target even without a
+  /// hot operation entry (saves the automaton fallback on next use).
+  struct GraphEntry {
+    /// Id in the *source* cache; InvalidCanon for worker harvests (the
+    /// private id has no meaning downstream). Compaction sets it so
+    /// absorbDelta can fill the old-id -> new-id relocation table.
+    CanonId OldId = InvalidCanon;
+    TypeGraph G;
+  };
+  /// Operand/result triple of a commutative or ordered pair operation
+  /// (union / intersection / widening; for widening A is Old, B is New).
+  struct PairEntry {
+    TypeGraph A, B, R;
+  };
+  struct InclEntry {
+    TypeGraph Big, Small;
+    bool Result = false;
+  };
+  /// Functors travel as (name, arity): ids are table-relative, names are
+  /// not.
+  struct RestrictEntry {
+    TypeGraph V;
+    std::string Name;
+    uint32_t Arity = 0;
+    bool Ok = false;
+    std::vector<TypeGraph> Args;
+  };
+  struct ConstructEntry {
+    std::string Name;
+    uint32_t Arity = 0;
+    std::vector<TypeGraph> Args;
+    TypeGraph R;
+  };
+
+  /// Snapshot of the table the carried graphs' functor ids refer to.
+  SymbolTable Syms;
+  std::vector<GraphEntry> Graphs;
+  std::vector<InclEntry> Incl;
+  std::vector<PairEntry> Union;
+  std::vector<PairEntry> Inter;
+  std::vector<PairEntry> Widen;
+  std::vector<RestrictEntry> Restrict;
+  std::vector<ConstructEntry> Construct;
+
+  uint64_t entryCount() const {
+    return Graphs.size() + Incl.size() + Union.size() + Inter.size() +
+           Widen.size() + Restrict.size() + Construct.size();
+  }
+};
+
+} // namespace gaia
+
+#endif // GAIA_TYPEGRAPH_CACHEDELTA_H

@@ -14,9 +14,13 @@
 
 #include "core/Report.h"
 #include "programs/Benchmarks.h"
+#include "runtime/TierLifecycle.h"
 #include "typegraph/GrammarParser.h"
 
 #include <gtest/gtest.h>
+
+#include <map>
+#include <string>
 
 using namespace gaia;
 
@@ -178,6 +182,97 @@ TEST_F(AnalysisPoolTest, RefreezingLayersANewTierOverTheOld) {
     EXPECT_EQ(fingerprint(Cold), fingerprint(Tiered)) << J.Key;
     EXPECT_GT(Tiered.Stats.OpCacheSharedHits, 0u) << J.Key;
   }
+}
+
+/// Three stacked generations on one pool, with promotion and compaction
+/// interleaved between batches (the tier-lifecycle rotation the batch
+/// service runs). Every job of every generation must stay bit-identical
+/// to its cold run while the tier underneath is promoted (ids stacked)
+/// and then compacted (ids renumbered through relocation tables).
+TEST_F(AnalysisPoolTest, LifecycleRotationAcrossThreeGenerationsStaysExact) {
+  // Base workload: four list-heavy programs under their published goals
+  // plus a "list" variant of each. The variants are *not* in the warmup
+  // tier, so generation 0 computes them in worker deltas — exactly what
+  // promotion is supposed to rescue for generations 1 and 2.
+  std::vector<AnalysisJob> Base;
+  for (const char *Key : {"QU", "DS", "PL", "BR"}) {
+    const BenchmarkProgram *B = findBenchmark(Key);
+    ASSERT_NE(B, nullptr);
+    Base.push_back({B->Key, B->Source, B->GoalSpec});
+    std::string Goal = B->GoalSpec;
+    size_t Pos = Goal.find("any");
+    if (Pos != std::string::npos) {
+      Goal.replace(Pos, 3, "list");
+      Base.push_back({B->Key + "#list", B->Source, Goal});
+    }
+  }
+
+  // One generation-unique churn job per batch: its functors appear in no
+  // other generation, so its promoted entries go cold immediately and
+  // the cadence compaction must drop them.
+  auto Churn = [](unsigned Gen) {
+    std::string Tag = "pool_g" + std::to_string(Gen);
+    AnalysisJob J;
+    J.Key = Tag;
+    J.Source = "p([]).\n"
+               "p([" + Tag + "(X)|T]) :- q(X), p(T).\n"
+               "q(" + Tag + "(a_" + std::to_string(Gen) + ")).\n"
+               "q(b_" + std::to_string(Gen) + ").\n";
+    J.GoalSpec = "p(any)";
+    return J;
+  };
+
+  std::map<std::string, std::string> Oracle;
+  auto OracleFp = [&](const AnalysisJob &J) -> const std::string & {
+    std::string K = J.Key + "|" + J.GoalSpec;
+    auto It = Oracle.find(K);
+    if (It == Oracle.end())
+      It = Oracle
+               .emplace(K, fingerprint(analyzeProgram(J.Source, J.GoalSpec)))
+               .first;
+    return It->second;
+  };
+
+  LifecyclePolicy LP;
+  LP.PromoteMinHits = 2;
+  LP.CompactEvery = 2; // one cadence compaction inside three batches
+  LP.KeepGens = 1;
+  TierLifecycle L(Cache, LP);
+
+  PoolOptions PO;
+  PO.Workers = 4;
+  PO.Shared = L.current();
+  PO.CollectDeltas = true;
+  AnalysisPool Pool(PO);
+
+  uint64_t FirstSharedHits = 0, LastSharedHits = 0;
+  for (unsigned Gen = 0; Gen != 3; ++Gen) {
+    std::vector<AnalysisJob> Batch = Base;
+    Batch.push_back(Churn(Gen));
+    Pool.setShared(L.current());
+    BatchStats St;
+    std::vector<JobOutcome> Out = Pool.run(Batch, &St);
+    ASSERT_EQ(Out.size(), Batch.size());
+    EXPECT_TRUE(St.AllOk);
+    for (size_t I = 0; I != Out.size(); ++I)
+      EXPECT_EQ(OracleFp(Batch[I]), fingerprint(Out[I].Result))
+          << Batch[I].Key << " in generation " << Gen;
+    if (Gen == 0)
+      FirstSharedHits = St.SharedHits;
+    LastSharedHits = St.SharedHits;
+    L.endBatch(Out);
+  }
+
+  // The rotation actually happened: deltas were promoted each batch, the
+  // cadence compaction fired and dropped the dead churn functors, and
+  // the promoted variants made the last batch resolve more operations
+  // from the tier than the first.
+  EXPECT_EQ(L.stats().Batches, 3u);
+  EXPECT_GT(L.stats().Promotions, 0u);
+  EXPECT_GT(L.stats().PromotedEntries, 0u);
+  EXPECT_GT(L.stats().Compactions, 0u);
+  EXPECT_GT(L.stats().DroppedGraphs, 0u);
+  EXPECT_GT(LastSharedHits, FirstSharedHits);
 }
 
 TEST_F(AnalysisPoolTest, WorkerInternersShareTierIdsAndNeverAliasDeltas) {

@@ -16,10 +16,14 @@
 #include "support/PfSetInterner.h"
 #include "typegraph/OpCache.h"
 
+#include "programs/Benchmarks.h"
+#include "runtime/SharedCache.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 using namespace gaia;
@@ -148,6 +152,85 @@ TEST(FrozenTierAuditDeathTest, OpTierPostFreezeWriteFaults) {
   ASSERT_TRUE(Tier->Arena && Tier->Arena->sealed());
   ASSERT_FALSE(Tier->Union.empty());
   EXPECT_DEATH(pokeConst(*Tier->Union.begin()), "");
+#endif
+}
+
+#ifdef GAIA_AUDIT
+/// A one-program warmup tier plus one harvested variant delta — the
+/// smallest honest refreeze cycle (tests the lifecycle paths, not the
+/// analysis; TierLifecycleTest owns the bit-identity story).
+std::shared_ptr<const SharedCache>
+buildTierWithDelta(std::shared_ptr<const CacheDelta> &DeltaOut) {
+  const BenchmarkProgram *B = findBenchmark("QU");
+  if (!B)
+    return nullptr;
+  std::vector<AnalysisJob> Warmup{{B->Key, B->Source, B->GoalSpec}};
+  std::string Err;
+  std::shared_ptr<const SharedCache> Cache =
+      SharedCache::build(Warmup, AnalyzerOptions{}, &Err);
+  if (!Cache)
+    return nullptr;
+  std::string Goal = B->GoalSpec;
+  size_t Pos = Goal.find("any");
+  if (Pos != std::string::npos)
+    Goal.replace(Pos, 3, "list");
+  AnalyzerOptions Opts;
+  Opts.Shared = Cache;
+  Opts.CollectDelta = true;
+  Opts.DeltaMinHits = 1;
+  AnalysisResult R = analyzeProgram(B->Source, Goal, Opts);
+  if (!R.Ok)
+    return nullptr;
+  DeltaOut = R.Delta;
+  return Cache;
+}
+#endif
+
+/// The seal must survive the lifecycle: a *promoted* tier is a brand-new
+/// freeze (old entries copied into a fresh arena, absorbed entries
+/// appended past them), and both halves must be as read-only as the
+/// original build.
+TEST(FrozenTierAuditDeathTest, PromotedTierIsSealedLikeAFreshFreeze) {
+#ifndef GAIA_AUDIT
+  GTEST_SKIP() << "audit seal requires -DGAIA_AUDIT=ON";
+#else
+  std::shared_ptr<const CacheDelta> Delta;
+  std::shared_ptr<const SharedCache> Cache = buildTierWithDelta(Delta);
+  ASSERT_NE(Cache, nullptr);
+  ASSERT_NE(Delta, nullptr) << "the variant run must harvest a delta";
+  std::shared_ptr<const SharedCache> Promoted =
+      Cache->promoteAndRefreeze({Delta});
+  ASSERT_NE(Promoted, nullptr);
+  const FrozenInternTier &IT = *Promoted->ops()->Intern;
+  ASSERT_TRUE(IT.Arena && IT.Arena->sealed());
+  ASSERT_GT(IT.size(), 0u);
+  // Both a carried-over entry (id 0) and the newest absorbed entry live
+  // in the promoted tier's sealed arena.
+  EXPECT_DEATH(pokeConst(IT.Canon[0]), "");
+  EXPECT_DEATH(pokeConst(IT.Canon[IT.size() - 1]), "");
+#endif
+}
+
+/// Same for a *compacted* tier: survivors are renumbered into a fresh
+/// arena and the result must fault on write exactly like the original.
+TEST(FrozenTierAuditDeathTest, CompactedTierIsSealedLikeAFreshFreeze) {
+#ifndef GAIA_AUDIT
+  GTEST_SKIP() << "audit seal requires -DGAIA_AUDIT=ON";
+#else
+  std::shared_ptr<const CacheDelta> Delta;
+  std::shared_ptr<const SharedCache> Cache = buildTierWithDelta(Delta);
+  ASSERT_NE(Cache, nullptr);
+  std::shared_ptr<const SharedCache> Compacted =
+      Cache->compactAndRefreeze(CompactionPolicy{});
+  ASSERT_NE(Compacted, nullptr);
+  const FrozenOpTier &OT = *Compacted->ops();
+  ASSERT_TRUE(OT.Arena && OT.Arena->sealed());
+  const FrozenInternTier &IT = *OT.Intern;
+  ASSERT_TRUE(IT.Arena && IT.Arena->sealed());
+  ASSERT_GT(IT.size(), 0u);
+  EXPECT_DEATH(pokeConst(IT.Canon[0]), "");
+  ASSERT_FALSE(OT.Union.empty());
+  EXPECT_DEATH(pokeConst(*OT.Union.begin()), "");
 #endif
 }
 

@@ -34,6 +34,13 @@ over the real sources:
   banned-rand              rand()/srand() in the hot directories: the
                            analysis must be bit-reproducible; anything
                            stochastic must use a seeded local RNG.
+  relocation-remap         a function that builds a FrozenInternTier or
+                           FrozenPfTier from an existing tier (the
+                           refreeze/compaction paths in src/support and
+                           src/runtime) must route ids through the
+                           RelocationTable API: raw id arithmetic across
+                           tier boundaries silently breaks the moment a
+                           rebuild renumbers the dense id spaces.
 
 plus two meta-rules over the suppression file itself:
 
@@ -70,6 +77,14 @@ SCRATCH_PARAM_RE = re.compile(r"^\w*Scratch$")
 LOCAL_CONTAINER_BAN = ("vector", "unordered_map", "map")
 HOT_CONTAINER_BAN = ("map", "multimap")
 DEFAULT_HOT_PATHS = ("src/typegraph", "src/gaia")
+# Directories where tier-from-tier rebuilds live; the relocation-remap
+# rule runs only there (a Builder constructed from nothing needs no
+# relocation table).
+DEFAULT_RELOC_PATHS = ("src/support", "src/runtime")
+RELOC_BUILDER_CLASSES = ("FrozenInternTier", "FrozenPfTier")
+# Identifiers that mark "this build reads an existing tier": the shared
+# tier member (Shared) or a previous-tier parameter (Prev).
+RELOC_TIER_REFS = ("Shared", "Prev")
 
 
 @dataclass
@@ -688,6 +703,34 @@ def check_scratch_functions(file, toks, findings):
                 "buffer through the scratch struct instead"))
 
 
+def check_relocation_remap(file, toks, findings):
+    """Functions that construct a FrozenInternTier/FrozenPfTier Builder
+    while reading an existing tier must use the RelocationTable API --
+    the only sanctioned way to carry ids across a tier boundary."""
+    for name, _params, (lo, hi), line in iter_function_defs(toks):
+        body = toks[lo:hi]
+        builds_tier = any(
+            body[i].text in RELOC_BUILDER_CLASSES
+            and i + 3 < len(body)
+            and body[i + 1].text == ":" and body[i + 2].text == ":"
+            and body[i + 3].text == "Builder"
+            for i in range(len(body)))
+        if not builds_tier:
+            continue
+        reads_tier = any(t.kind == "id" and t.text in RELOC_TIER_REFS
+                         for t in body)
+        if not reads_tier:
+            continue  # fresh build: ids are born here, nothing to remap
+        if any(t.text == "RelocationTable" for t in body):
+            continue
+        findings.append(Finding(
+            "relocation-remap", file, line, name,
+            f"{name} builds a frozen tier from an existing tier without a "
+            "RelocationTable; raw id arithmetic across tier boundaries "
+            "breaks silently when a rebuild (promotion/compaction) "
+            "renumbers the dense id spaces"))
+
+
 def check_banned_tokens(file, toks, findings):
     i = 0
     n = len(toks)
@@ -808,7 +851,7 @@ def in_hot_path(file, hot_paths):
                for hp in hot_paths)
 
 
-def lint_files(files, hot_paths):
+def lint_files(files, hot_paths, reloc_paths):
     findings = []
     toks_by_file = {}
     classes_by_file = {}
@@ -833,6 +876,8 @@ def lint_files(files, hot_paths):
         if in_hot_path(f, hot_paths):
             check_scratch_functions(f, toks, findings)
             check_banned_tokens(f, toks, findings)
+        if in_hot_path(f, reloc_paths):
+            check_relocation_remap(f, toks, findings)
     return findings
 
 
@@ -853,6 +898,11 @@ def main(argv=None):
                     help="directory (repo-relative) treated as a hot path "
                          "for the scratch/banned rules; default: "
                          + ", ".join(DEFAULT_HOT_PATHS))
+    ap.add_argument("--reloc-path", action="append", default=[],
+                    metavar="DIR",
+                    help="directory (repo-relative) where the "
+                         "relocation-remap rule applies; default: "
+                         + ", ".join(DEFAULT_RELOC_PATHS))
     ap.add_argument("--json", metavar="OUT",
                     help="write a JSON report to OUT")
     args = ap.parse_args(argv)
@@ -863,12 +913,13 @@ def main(argv=None):
         return 2
 
     hot_paths = args.hot_path or list(DEFAULT_HOT_PATHS)
+    reloc_paths = args.reloc_path or list(DEFAULT_RELOC_PATHS)
     files = args.files if args.files else files_from_compdb(args.compdb)
     if not files:
         print("gaia-lint: no files to lint", file=sys.stderr)
         return 2
 
-    findings = lint_files(files, hot_paths)
+    findings = lint_files(files, hot_paths, reloc_paths)
 
     meta_findings = []
     sups = load_suppressions(args.suppressions, meta_findings)

@@ -1,0 +1,71 @@
+// gaia-lint fixture: relocation-remap violations.
+//
+// Seeded violations (the lint MUST flag):
+//   relocation-remap : refreezeStacked -- builds a FrozenInternTier
+//     Builder while reading the existing tier (Shared) with raw id
+//     arithmetic, no RelocationTable in sight.
+//
+// Deliberately-adjacent allowed shapes (the lint MUST NOT flag):
+//   freezeFresh      -- builds a tier from nothing; ids are born here.
+//   refreezeRelocated -- reads the existing tier but routes every id
+//     through the RelocationTable API.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+using CanonId = uint32_t;
+
+struct FrozenInternTier {
+  struct Builder {
+    std::vector<int> Canon;
+  };
+  const std::vector<int> Canon;
+  explicit FrozenInternTier(Builder &&B) : Canon(std::move(B.Canon)) {}
+  uint32_t size() const { return static_cast<uint32_t>(Canon.size()); }
+};
+
+template <class IdT> class RelocationTable {
+public:
+  static RelocationTable identity(size_t N) { return RelocationTable(N); }
+  explicit RelocationTable(size_t N) : Map(N) {}
+  IdT map(IdT Id) const { return Map[Id]; }
+
+private:
+  std::vector<IdT> Map;
+};
+
+struct Refreezer {
+  std::shared_ptr<const FrozenInternTier> Shared;
+  std::vector<int> Delta;
+
+  // BAD: stacks the delta on the shared tier by raw offset arithmetic.
+  std::shared_ptr<FrozenInternTier> refreezeStacked() {
+    FrozenInternTier::Builder B;
+    for (size_t I = 0; I != Shared->Canon.size(); ++I)
+      B.Canon.push_back(Shared->Canon[I]);
+    for (size_t I = 0; I != Delta.size(); ++I)
+      B.Canon.push_back(Delta[I] + static_cast<int>(Shared->size()));
+    return std::make_shared<FrozenInternTier>(std::move(B));
+  }
+
+  // OK: a fresh build references no existing tier.
+  std::shared_ptr<FrozenInternTier> freezeFresh() {
+    FrozenInternTier::Builder B;
+    for (size_t I = 0; I != Delta.size(); ++I)
+      B.Canon.push_back(Delta[I]);
+    return std::make_shared<FrozenInternTier>(std::move(B));
+  }
+
+  // OK: ids cross the tier boundary through the relocation table.
+  std::shared_ptr<FrozenInternTier> refreezeRelocated() {
+    const RelocationTable<CanonId> Reloc =
+        RelocationTable<CanonId>::identity(Shared->size() + Delta.size());
+    FrozenInternTier::Builder B;
+    for (size_t I = 0; I != Shared->Canon.size(); ++I)
+      B.Canon.push_back(Shared->Canon[Reloc.map(static_cast<CanonId>(I))]);
+    for (size_t I = 0; I != Delta.size(); ++I)
+      B.Canon.push_back(Delta[I]);
+    return std::make_shared<FrozenInternTier>(std::move(B));
+  }
+};

@@ -44,6 +44,10 @@ CASES = {
         [("banned-rand", "rand")],
         ["Rng", "mt19937"],
     ),
+    "relocation_remap_bad.cpp": (
+        [("relocation-remap", "refreezeStacked")],
+        ["freezeFresh", "refreezeRelocated"],
+    ),
 }
 
 
@@ -54,7 +58,7 @@ def run_lint(files, extra=()):
     try:
         proc = subprocess.run(
             [sys.executable, LINT, *files, "--hot-path", FIXTURES,
-             "--json", report_path, *extra],
+             "--reloc-path", FIXTURES, "--json", report_path, *extra],
             capture_output=True, text=True)
         with open(report_path, encoding="utf-8") as fp:
             report = json.load(fp)
