@@ -20,6 +20,10 @@ bench/BENCH_throughput.baseline.json and fails when
 
   * identical_all is false (a concurrent run diverged from the
     sequential oracle: a correctness bug, not a perf matter),
+  * failed_jobs is nonzero (the throughput workload contains only
+    well-formed jobs, so any per-job failure — deadline, contained
+    exception, parse error — is a bug; first_error is printed for
+    the diagnosis),
   * jobs_per_sec_max regresses by more than the tolerance, or
   * the 8-worker run scales below the floor for this machine's core
     count: 3x over 1 worker with >= 8 hardware threads (the batch
@@ -74,7 +78,7 @@ TOLERANCE = 0.30
 # masquerading as a perf regression.
 TABLE3_KEYS = ("programs", "total_solve_seconds")
 TABLE3_PROGRAM_KEYS = ("key", "solve_seconds")
-THROUGHPUT_KEYS = ("identical_all", "jobs_per_sec_max")
+THROUGHPUT_KEYS = ("identical_all", "jobs_per_sec_max", "failed_jobs")
 # Per-program gate: fail when one program regresses by more than this,
 # but only gate programs whose baseline solve time clears the floor
 # (timing noise dominates below it).
@@ -228,6 +232,17 @@ def check_throughput(current_path, baseline_path):
     if not current.get("identical_all", False):
         print("FAIL: concurrent batch results diverged from the sequential oracle")
         failed = True
+
+    failed_jobs = current["failed_jobs"]
+    if failed_jobs:
+        first = current.get("first_error", "")
+        print(
+            f"FAIL: {failed_jobs} job(s) failed in the throughput batch"
+            + (f" — first error: {first}" if first else "")
+        )
+        failed = True
+    else:
+        print("failed_jobs: 0 -> ok")
 
     hw = current.get("hardware_concurrency", 0)
     scaling = current.get("scaling_8w_over_1w", 0.0)

@@ -65,6 +65,38 @@ struct WorkerRun {
   bool Identical = true;
 };
 
+/// Minimal JSON string escaping for the first_error field (parser
+/// messages can carry quotes and backslashes from source excerpts).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
 long peakRssKb() {
   struct rusage U {};
   getrusage(RUSAGE_SELF, &U);
@@ -130,6 +162,8 @@ int main(int argc, char **argv) {
 
   std::vector<WorkerRun> Runs;
   bool AllIdentical = true;
+  uint32_t TotalFailed = 0;
+  std::string FirstError;
   double Base = 0;
   for (uint32_t Workers : {1u, 2u, 4u, 8u}) {
     PoolOptions PO;
@@ -144,13 +178,17 @@ int main(int argc, char **argv) {
     std::vector<JobOutcome> Out = Pool.run(Batch, &Run.St);
     for (size_t I = 0; I != Out.size(); ++I) {
       const AnalysisJob &J = Batch[I];
-      if (analysisFingerprint(Out[I].Result) != Oracle[J.Key + "|" + J.GoalSpec]) {
+      if (analysisFingerprint(Out[I].Result) !=
+          Oracle[J.Key + "|" + J.GoalSpec]) {
         std::fprintf(stderr, "MISMATCH: %s (%s) on %u workers\n",
                      J.Key.c_str(), J.GoalSpec.c_str(), Workers);
         Run.Identical = false;
       }
     }
     AllIdentical = AllIdentical && Run.Identical;
+    TotalFailed += Run.St.Failed;
+    if (FirstError.empty() && !Run.St.FirstError.empty())
+      FirstError = Run.St.FirstError;
     if (Workers == 1)
       Base = Run.St.JobsPerSecond;
     double Speedup = Base > 0 ? Run.St.JobsPerSecond / Base : 0;
@@ -215,11 +253,14 @@ int main(int argc, char **argv) {
                  "  \"tier_arena_bytes\": %llu,\n"
                  "  \"peak_rss_kb\": %ld,\n"
                  "  \"peak_rss_per_10k_jobs\": %.1f,\n"
+                 "  \"failed_jobs\": %u,\n"
+                 "  \"first_error\": \"%s\",\n"
                  "  \"identical_all\": %s\n}\n",
                  Base, MaxJps, Scaling, Scaling / 8.0,
                  static_cast<unsigned long long>(Cache->tierBytes()),
                  static_cast<unsigned long long>(Cache->stats().ArenaBytes),
-                 peakRssKb(), RssPer10k,
+                 peakRssKb(), RssPer10k, TotalFailed,
+                 jsonEscape(FirstError).c_str(),
                  AllIdentical ? "true" : "false");
     std::fclose(F);
     std::printf("wrote %s (max %.1f jobs/s, 8w/1w scaling %.2fx)\n",

@@ -57,6 +57,7 @@ void runWithLeaf(AnalysisResult &R, const typename Leaf::Context &C,
   if (!Prog.defines(Entry)) {
     R.Error = "goal predicate " + Syms.functorString(Entry) +
               " is not defined in the program";
+    R.Fail = FailKind::BadQuery;
     return;
   }
 
@@ -124,11 +125,15 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
   std::optional<InputPattern> Pattern = parseInputPattern(GoalSpec, &Err);
   if (!Pattern) {
     R.Error = Err;
+    R.Fail = FailKind::BadQuery;
     return R;
   }
-  std::optional<Program> Prog = Program::parse(Source, Syms, &Err);
+  uint32_t ErrLine = 0;
+  std::optional<Program> Prog = Program::parse(Source, Syms, &Err, &ErrLine);
   if (!Prog) {
     R.Error = Err;
+    R.Fail = FailKind::ParseError;
+    R.FailLine = ErrLine;
     return R;
   }
   NProgram NProg = NProgram::fromProgram(*Prog, Syms);
@@ -139,70 +144,125 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
   R.Sizes = computeSizeMetrics(*Prog, NProg, Syms, Entry);
   R.Recursion = classifyRecursion(*Prog, Syms);
 
+  // The job's combined stop condition: the deadline clock starts here
+  // (analysis proper — parse errors above return before arming), the
+  // token comes from the caller. The signal lives on this frame and is
+  // handed down by raw pointer; a tripped poll unwinds back to the
+  // handler below with every per-job structure (engine, private op
+  // cache, scratch) destroyed on the way — the shared tier is frozen,
+  // so nothing the job touched survives.
+  CancelSignal Signal;
+  if (Opts.DeadlineMs != 0)
+    Signal.armDeadline(CancelSignal::Clock::now() +
+                       std::chrono::milliseconds(Opts.DeadlineMs));
+  if (Opts.Cancel)
+    Signal.armToken(Opts.Cancel);
+
   EngineOptions EngOpts;
   EngOpts.RefineArithComparisons = Opts.RefineArithComparisons;
   EngOpts.MaxInputPatterns = Opts.MaxInputPatterns;
   EngOpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
-  if (Opts.Domain == DomainKind::TypeGraphs) {
-    NormalizeOptions Norm;
-    Norm.OrCap = Opts.OrCap;
-    WideningOptions Widen;
-    Widen.Norm = Norm;
-    Widen.Mode = Opts.Widening;
-    Widen.DepthK = Opts.DepthK;
-    std::vector<TypeGraph> Database;
-    for (const std::string &Grammar : Opts.TypeDatabase) {
-      std::optional<TypeGraph> G = parseGrammar(Grammar, Syms, &Err);
-      if (!G) {
-        R.Error = "type database entry: " + Err;
-        return R;
+  if (Signal.armed())
+    EngOpts.Cancel = &Signal;
+  try {
+    if (Opts.Domain == DomainKind::TypeGraphs) {
+      NormalizeOptions Norm;
+      Norm.OrCap = Opts.OrCap;
+      WideningOptions Widen;
+      Widen.Norm = Norm;
+      Widen.Mode = Opts.Widening;
+      Widen.DepthK = Opts.DepthK;
+      std::vector<TypeGraph> Database;
+      for (const std::string &Grammar : Opts.TypeDatabase) {
+        std::optional<TypeGraph> G = parseGrammar(Grammar, Syms, &Err);
+        if (!G) {
+          R.Error = "type database entry: " + Err;
+          R.Fail = FailKind::BadQuery;
+          return R;
+        }
+        Database.push_back(std::move(*G));
       }
-      Database.push_back(std::move(*G));
+      if (!Database.empty())
+        Widen.Database = &Database;
+      Widen.Cancel = EngOpts.Cancel;
+      // The hash-consing interner plus op-cache layer; one per analysis
+      // (layered over the shared tier's frozen maps when one is given),
+      // shared by the engine and every leaf operation through the context.
+      std::optional<OpCache> Owned;
+      if (!ExternalOps && Opts.UseOpCache)
+        Owned.emplace(Syms, Norm, Shared ? Shared->ops() : nullptr);
+      OpCache *Ops = ExternalOps ? ExternalOps : (Owned ? &*Owned : nullptr);
+      TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats, Ops,
+                          std::make_shared<TypeLeaf::Constants>(), nullptr};
+      if (Shared) {
+        // Per-job copy of the pre-primed constants (their intern caches
+        // carry the frozen tier's epoch), and the keep-alive anchor for
+        // everything the frozen tier owns.
+        C.Consts =
+            std::make_shared<TypeLeaf::Constants>(Shared->leafConstants());
+        C.Shared = Opts.Shared;
+      }
+      runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
+      if (Ops) {
+        R.Stats.OpCacheHits = Ops->stats().Hits;
+        R.Stats.OpCacheMisses = Ops->stats().Misses;
+        R.Stats.OpCacheSharedHits = Ops->stats().SharedHits;
+        R.Stats.InternSharedHits = Ops->interner().stats().SharedHits;
+        R.Stats.InternedGraphs = Ops->interner().size();
+        R.Stats.PfSetHits = Ops->pfStats().Hits;
+        R.Stats.PfSetMisses = Ops->pfStats().Misses;
+        R.Stats.PfSetSharedHits = Ops->pfStats().SharedHits;
+        // Harvest the hot delta entries before the per-run cache dies —
+        // only for owned caches: a warmup's external cache accumulates
+        // across calls and is frozen wholesale instead.
+        if (Opts.CollectDelta && Owned)
+          R.Delta = Owned->harvestDelta(Opts.DeltaMinHits);
+      }
+    } else {
+      PFLeaf::Context C{Syms};
+      runWithLeaf<PFLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
     }
-    if (!Database.empty())
-      Widen.Database = &Database;
-    // The hash-consing interner plus op-cache layer; one per analysis
-    // (layered over the shared tier's frozen maps when one is given),
-    // shared by the engine and every leaf operation through the context.
-    std::optional<OpCache> Owned;
-    if (!ExternalOps && Opts.UseOpCache)
-      Owned.emplace(Syms, Norm, Shared ? Shared->ops() : nullptr);
-    OpCache *Ops = ExternalOps ? ExternalOps : (Owned ? &*Owned : nullptr);
-    TypeLeaf::Context C{Syms, Norm, Widen, &R.WStats, Ops,
-                        std::make_shared<TypeLeaf::Constants>(), nullptr};
-    if (Shared) {
-      // Per-job copy of the pre-primed constants (their intern caches
-      // carry the frozen tier's epoch), and the keep-alive anchor for
-      // everything the frozen tier owns.
-      C.Consts =
-          std::make_shared<TypeLeaf::Constants>(Shared->leafConstants());
-      C.Shared = Opts.Shared;
-    }
-    runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
-    if (Ops) {
-      R.Stats.OpCacheHits = Ops->stats().Hits;
-      R.Stats.OpCacheMisses = Ops->stats().Misses;
-      R.Stats.OpCacheSharedHits = Ops->stats().SharedHits;
-      R.Stats.InternSharedHits = Ops->interner().stats().SharedHits;
-      R.Stats.InternedGraphs = Ops->interner().size();
-      R.Stats.PfSetHits = Ops->pfStats().Hits;
-      R.Stats.PfSetMisses = Ops->pfStats().Misses;
-      R.Stats.PfSetSharedHits = Ops->pfStats().SharedHits;
-      // Harvest the hot delta entries before the per-run cache dies —
-      // only for owned caches: a warmup's external cache accumulates
-      // across calls and is frozen wholesale instead.
-      if (Opts.CollectDelta && Owned)
-        R.Delta = Owned->harvestDelta(Opts.DeltaMinHits);
-    }
-  } else {
-    PFLeaf::Context C{Syms};
-    runWithLeaf<PFLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
+  } catch (const CancelledError &CE) {
+    // Cooperative cancellation unwound the engine mid-fixpoint. All
+    // per-job state died on the unwind (including the private delta
+    // cache — the harvest above was skipped), so the only residue is
+    // this structured result.
+    R.Ok = false;
+    R.Fail = CE.DeadlineExpired ? FailKind::Deadline : FailKind::Cancelled;
+    R.Error = CE.DeadlineExpired
+                  ? "deadline of " + std::to_string(Opts.DeadlineMs) +
+                        " ms expired mid-analysis"
+                  : "cancelled by caller";
+    R.Converged = false;
+    R.QuerySucceeds = false;
+    R.QueryOutput.clear();
+    R.Summaries.clear();
+    R.Delta = nullptr;
+    return R;
   }
   R.Converged = R.Stats.FixpointAborts == 0;
   return R;
 }
 
 } // namespace
+
+const char *gaia::failKindName(FailKind K) {
+  switch (K) {
+  case FailKind::None:
+    return "none";
+  case FailKind::ParseError:
+    return "parse-error";
+  case FailKind::BadQuery:
+    return "bad-query";
+  case FailKind::Deadline:
+    return "deadline";
+  case FailKind::Cancelled:
+    return "cancelled";
+  case FailKind::Exception:
+    return "exception";
+  }
+  return "unknown";
+}
 
 AnalysisResult gaia::analyzeProgram(const std::string &Source,
                                     const std::string &GoalSpec,
@@ -228,6 +288,7 @@ AnalysisResult gaia::analyzeProgramWarm(SymbolTable &Syms, OpCache &Ops,
   if (Opts.Domain != DomainKind::TypeGraphs) {
     AnalysisResult R;
     R.Error = "analyzeProgramWarm requires the type-graph domain";
+    R.Fail = FailKind::BadQuery;
     return R;
   }
   // Non-owning alias: the caller owns the table across warmup calls.

@@ -17,6 +17,7 @@
 #include "core/Tags.h"
 #include "gaia/Engine.h"
 #include "prolog/Metrics.h"
+#include "support/Cancellation.h"
 #include "typegraph/Widening.h"
 
 #include <memory>
@@ -33,6 +34,22 @@ enum class DomainKind : uint8_t {
   TypeGraphs,        ///< the paper's system Pat(Type)
   PrincipalFunctors, ///< the baseline Pat(PF) of Tables 4/5
 };
+
+/// Structured failure taxonomy for AnalysisResult (and, through it, the
+/// serving runtime's JobOutcome). Every Ok=false result carries exactly
+/// one of these so callers can route failures — retry ladders treat a
+/// Deadline very differently from a ParseError.
+enum class FailKind : uint8_t {
+  None,       ///< Ok result; no failure
+  ParseError, ///< the program failed Parser::hadError() (see FailLine)
+  BadQuery,   ///< malformed goal spec / type database / undefined goal
+  Deadline,   ///< AnalyzerOptions::DeadlineMs expired mid-analysis
+  Cancelled,  ///< AnalyzerOptions::Cancel token tripped mid-analysis
+  Exception,  ///< a C++ exception escaped the analysis (containment path)
+};
+
+/// Printable name for logs and JSON snapshots.
+const char *failKindName(FailKind K);
 
 struct AnalyzerOptions {
   DomainKind Domain = DomainKind::TypeGraphs;
@@ -78,6 +95,18 @@ struct AnalyzerOptions {
   /// Minimum per-entry hit count for the harvest (entries resolved fewer
   /// times are left to die with the worker cache).
   uint32_t DeltaMinHits = 2;
+  /// Wall-clock budget for one analysis in milliseconds (0 = none). The
+  /// clock starts when analyzeProgram enters; the deadline is polled at
+  /// the engine's per-round checkpoints and in the widening transform
+  /// loop, so an expired job unwinds to a structured result
+  /// (Ok = false, Fail = FailKind::Deadline) instead of holding its
+  /// worker until MaxFixpointRounds runs dry.
+  uint32_t DeadlineMs = 0;
+  /// Optional cancellation token shared with the caller: cancel() from
+  /// any thread makes the job unwind at its next poll with
+  /// Fail = FailKind::Cancelled. One token may cover a whole wave of
+  /// jobs.
+  std::shared_ptr<const CancelToken> Cancel;
 };
 
 /// One analyzed argument position.
@@ -100,6 +129,17 @@ struct PredicateSummary {
 struct AnalysisResult {
   bool Ok = false;
   std::string Error;
+  /// Failure classification; FailKind::None iff Ok (or the legacy
+  /// pre-taxonomy error paths of warm-up helpers).
+  FailKind Fail = FailKind::None;
+  /// Source line for FailKind::ParseError (0 = unknown).
+  uint32_t FailLine = 0;
+  /// True when this result was produced by the resilience ladder's
+  /// widen-to-top floor rather than the analysis proper: sound (every
+  /// output is Any) but maximally imprecise. Ok is true — the caller
+  /// got a usable answer — but fingerprint-level consumers must not
+  /// treat it as the analysis' normal output.
+  bool Degraded = false;
   /// False if a fixpoint loop exhausted its round budget and the engine
   /// degraded the offending entries to top (see
   /// EngineStats::FixpointAborts). The result is still a sound

@@ -24,6 +24,7 @@
 
 #include "pat/PatSub.h"
 #include "prolog/Normalize.h"
+#include "support/Cancellation.h"
 #include "support/SmallPtrMap.h"
 
 #include <chrono>
@@ -58,6 +59,13 @@ struct EngineOptions {
   /// silently returning a dirty (non-converged, unsound-as-final)
   /// result. Aborts are counted in EngineStats::FixpointAborts.
   uint32_t MaxFixpointRounds = 10000;
+  /// Optional cooperative stop condition (deadline and/or cancellation
+  /// token; support/Cancellation.h), polled at the same per-round
+  /// checkpoints the fixpoint budget uses. A tripped signal throws
+  /// CancelledError out of solve(); the analyzer facade owns the
+  /// handler. Null = never cancelled. Non-owning: the pointee must
+  /// outlive the engine run.
+  const CancelSignal *Cancel = nullptr;
 };
 
 /// Process-global GAIA_TRACE flag, computed once. Engines used to call
@@ -257,6 +265,8 @@ typename Engine<Leaf>::Sub Engine<Leaf>::solve(FunctorId Pred,
   // dirty entries; recompute until the query entry is clean.
   unsigned Rounds = 0;
   while (E->Dirty) {
+    if (Opts.Cancel)
+      Opts.Cancel->poll();
     if (Rounds++ >= Opts.MaxFixpointRounds) {
       abortFixpoint(E);
       break;
@@ -361,6 +371,8 @@ template <typename Leaf> void Engine<Leaf>::compute(Entry *E) {
 
   unsigned LocalRounds = 0;
   while (true) {
+    if (Opts.Cancel)
+      Opts.Cancel->poll();
     E->Dirty = false;
     E->UsedRecursively = false;
     // Unlink the reverse edges of the previous pass before rebuilding

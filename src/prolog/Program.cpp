@@ -36,7 +36,8 @@ uint32_t Program::numClauses() const {
 }
 
 std::optional<Program> Program::parse(std::string_view Source,
-                                      SymbolTable &Syms, std::string *Err) {
+                                      SymbolTable &Syms, std::string *Err,
+                                      uint32_t *ErrLine) {
   Parser P(Source, Syms);
   Program Prog;
   while (true) {
@@ -45,6 +46,8 @@ std::optional<Program> Program::parse(std::string_view Source,
       if (P.hadError()) {
         if (Err)
           *Err = "line " + std::to_string(P.errorLine()) + ": " + P.error();
+        if (ErrLine)
+          *ErrLine = P.errorLine();
         return std::nullopt;
       }
       break; // end of input

@@ -41,7 +41,8 @@ public:
   /// "line N: message" diagnostic in \p Err if non-null.
   static std::optional<Program> parse(std::string_view Source,
                                       SymbolTable &Syms,
-                                      std::string *Err = nullptr);
+                                      std::string *Err = nullptr,
+                                      uint32_t *ErrLine = nullptr);
 
   const std::vector<Procedure> &procedures() const { return Procs; }
 

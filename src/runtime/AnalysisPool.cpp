@@ -2,6 +2,8 @@
 
 #include "runtime/AnalysisPool.h"
 
+#include "support/FaultInject.h"
+
 #include <chrono>
 
 using namespace gaia;
@@ -28,16 +30,62 @@ AnalysisPool::~AnalysisPool() {
     T.join();
 }
 
-JobOutcome AnalysisPool::runOne(const AnalysisJob &Job,
-                                uint32_t WorkerIndex) const {
+JobOutcome AnalysisPool::runOne(const AnalysisJob &Job, uint32_t WorkerIndex,
+                                size_t JobIndex) const noexcept {
   JobOutcome O;
   O.Worker = WorkerIndex;
   auto Start = std::chrono::steady_clock::now();
-  AnalyzerOptions JobOpts = Options.Opts;
-  JobOpts.Shared = Options.Shared;
-  JobOpts.CollectDelta = Options.CollectDeltas;
-  JobOpts.DeltaMinHits = Options.DeltaMinHits;
-  O.Result = analyzeProgram(Job.Source, Job.GoalSpec, JobOpts);
+  // Belt over the containment: containedAnalyze and the ladder are
+  // themselves noexcept/contained, but this function is the last frame
+  // before workerLoop — an escape here would terminate the process, so
+  // even "impossible" throws (an allocator failure building the outcome
+  // string, say) get converted to a structured failure.
+  try {
+    AnalyzerOptions JobOpts = Options.Opts;
+    JobOpts.Shared = Options.Shared;
+    JobOpts.CollectDelta = Options.CollectDeltas;
+    JobOpts.DeltaMinHits = Options.DeltaMinHits;
+
+    ResilienceManager *Res = Options.Resilience.get();
+    if (Res && Res->preCheck(Job, O.Result, O.Rung)) {
+      // Quarantined: answered from the floor without running anything.
+      O.Attempts = 0;
+      O.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      return O;
+    }
+
+    // One contained attempt. The chaos fault stream (a no-op unless the
+    // build has GAIA_FAULT_INJECT) is armed per (job, attempt), so the
+    // fault plan depends only on the batch composition and the seed —
+    // never on which worker drew the job — and a retry draws a fresh
+    // stream, making injected faults behave like transient errors.
+    auto RunAttempt = [&](const AnalyzerOptions &AOpts,
+                          uint32_t AttemptIdx) {
+#ifdef GAIA_FAULT_INJECT
+      faultinject::JobScope Scope(static_cast<uint64_t>(JobIndex) * 251 +
+                                  AttemptIdx);
+      AnalysisResult R = containedAnalyze(Job.Source, Job.GoalSpec, AOpts);
+      O.FaultFires += Scope.fires();
+      return R;
+#else
+      (void)JobIndex;
+      (void)AttemptIdx;
+      return containedAnalyze(Job.Source, Job.GoalSpec, AOpts);
+#endif
+    };
+
+    O.Result = RunAttempt(JobOpts, 0);
+    if (!O.Result.Ok && Res && ResilienceManager::ladderEligible(O.Result))
+      O.Result = Res->recover(Job, JobOpts, std::move(O.Result), RunAttempt,
+                              O.Rung, O.Attempts);
+  } catch (...) {
+    O.Result = AnalysisResult();
+    O.Result.Fail = FailKind::Exception;
+    O.Result.Error = "exception escaped the job runner";
+    O.Result.Converged = false;
+  }
   O.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -64,7 +112,7 @@ void AnalysisPool::workerLoop(uint32_t WorkerIndex) {
       size_t I = B->Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= B->Jobs.size())
         break;
-      B->Out[I] = runOne(B->Jobs[I], WorkerIndex);
+      B->Out[I] = runOne(B->Jobs[I], WorkerIndex, I);
       {
         std::lock_guard<std::mutex> L(M);
         if (++B->Completed == B->Jobs.size())
@@ -111,13 +159,23 @@ std::vector<JobOutcome> AnalysisPool::run(const std::vector<AnalysisJob> &Jobs,
     S.Jobs = static_cast<uint32_t>(Jobs.size());
     S.WallSeconds = Wall;
     S.JobsPerSecond = Wall > 0 ? double(Jobs.size()) / Wall : 0.0;
-    for (const JobOutcome &O : Out) {
+    for (size_t I = 0; I != Out.size(); ++I) {
+      const JobOutcome &O = Out[I];
       S.SharedHits += O.Result.Stats.OpCacheSharedHits;
       S.DeltaHits += O.Result.Stats.OpCacheHits;
       S.Misses += O.Result.Stats.OpCacheMisses;
       S.InternSharedHits += O.Result.Stats.InternSharedHits;
       S.AllOk = S.AllOk && O.Result.Ok;
       S.AllConverged = S.AllConverged && O.Result.Converged;
+      if (!O.Result.Ok) {
+        ++S.Failed;
+        if (S.FirstError.empty())
+          S.FirstError = Jobs[I].Key + ": " + O.Result.Error;
+      } else if (O.Result.Degraded) {
+        ++S.Degraded;
+      } else if (O.Rung == RecoveryRung::ColdRetry) {
+        ++S.Recovered;
+      }
     }
     *Stats = S;
   }

@@ -18,6 +18,7 @@
 #ifndef GAIA_RUNTIME_ANALYSISPOOL_H
 #define GAIA_RUNTIME_ANALYSISPOOL_H
 
+#include "runtime/Resilience.h"
 #include "runtime/SharedCache.h"
 
 #include <atomic>
@@ -42,6 +43,12 @@ struct PoolOptions {
   bool CollectDeltas = false;
   /// Per-entry hit threshold for the harvest.
   uint32_t DeltaMinHits = 2;
+  /// Optional retry-with-degradation ladder (runtime/Resilience.h),
+  /// shared across workers (and poolable across pools). Null = no
+  /// retries: a failed job reports its structured failure as-is.
+  /// Exception containment is unconditional either way — a worker
+  /// thread never dies to a job.
+  std::shared_ptr<ResilienceManager> Resilience;
 };
 
 /// One finished job.
@@ -49,6 +56,15 @@ struct JobOutcome {
   AnalysisResult Result;
   double Seconds = 0;  ///< wall time of this job on its worker
   uint32_t Worker = 0; ///< index of the worker that ran it
+  /// Which resilience rung produced Result (None: the first attempt —
+  /// or the job failed with no ladder configured / an ineligible kind).
+  RecoveryRung Rung = RecoveryRung::None;
+  /// Analysis attempts consumed (1 = no retries; 0 = quarantined jobs,
+  /// which never reach the engine).
+  uint32_t Attempts = 1;
+  /// Injected chaos faults that fired during this job's attempts (0
+  /// unless the build has GAIA_FAULT_INJECT and a fault plan is armed).
+  uint64_t FaultFires = 0;
 };
 
 /// Aggregate figures for one run() call.
@@ -63,6 +79,16 @@ struct BatchStats {
   uint64_t InternSharedHits = 0;
   bool AllOk = true;
   bool AllConverged = true;
+  /// Jobs whose final result (after any ladder) is still a failure.
+  uint32_t Failed = 0;
+  /// Ok jobs whose result came from a degrading rung (tight budgets or
+  /// the widen-to-top floor) rather than the configured analysis.
+  uint32_t Degraded = 0;
+  /// Ok jobs rescued by a non-degrading retry (the cold rung).
+  uint32_t Recovered = 0;
+  /// "<job key>: <error>" for the first failed job in job order (empty
+  /// when Failed == 0); the bench/gate chain surfaces it.
+  std::string FirstError;
 
   double sharedHitRate() const {
     uint64_t Total = SharedHits + DeltaHits + Misses;
@@ -109,7 +135,11 @@ private:
   };
 
   void workerLoop(uint32_t WorkerIndex);
-  JobOutcome runOne(const AnalysisJob &Job, uint32_t WorkerIndex) const;
+  /// Runs one job with exception containment and, when configured, the
+  /// resilience ladder. noexcept: no per-job failure reaches workerLoop
+  /// (a throw here would take the whole process down).
+  JobOutcome runOne(const AnalysisJob &Job, uint32_t WorkerIndex,
+                    size_t JobIndex) const noexcept;
 
   PoolOptions Options;
   std::vector<std::thread> Threads;

@@ -1,0 +1,196 @@
+//===- runtime/Resilience.cpp ----------------------------------------------=//
+
+#include "runtime/Resilience.h"
+
+#include "core/InputPattern.h"
+#include "runtime/SharedCache.h"
+
+#include <exception>
+
+using namespace gaia;
+
+const char *gaia::recoveryRungName(RecoveryRung R) {
+  switch (R) {
+  case RecoveryRung::None:
+    return "none";
+  case RecoveryRung::ColdRetry:
+    return "cold-retry";
+  case RecoveryRung::TightBudgets:
+    return "tight-budgets";
+  case RecoveryRung::WidenToTop:
+    return "widen-to-top";
+  case RecoveryRung::Quarantined:
+    return "quarantined";
+  }
+  return "unknown";
+}
+
+AnalysisResult gaia::containedAnalyze(const std::string &Source,
+                                      const std::string &GoalSpec,
+                                      const AnalyzerOptions &Opts) noexcept {
+  try {
+    return analyzeProgram(Source, GoalSpec, Opts);
+  } catch (const std::exception &E) {
+    AnalysisResult R;
+    R.Fail = FailKind::Exception;
+    R.Error = E.what();
+    R.Converged = false;
+    return R;
+  } catch (...) {
+    AnalysisResult R;
+    R.Fail = FailKind::Exception;
+    R.Error = "unknown exception escaped the analysis";
+    R.Converged = false;
+    return R;
+  }
+}
+
+ResilienceManager::ResilienceManager(ResilienceOptions O) : Opts(O) {}
+
+uint64_t ResilienceManager::fingerprint(const AnalysisJob &Job) {
+  // Identity is the analysis input, not the reporting key: two jobs with
+  // the same source and goal hit the same engine paths, so they share a
+  // quarantine verdict.
+  uint64_t H = std::hash<std::string>{}(Job.Source);
+  uint64_t G = std::hash<std::string>{}(Job.GoalSpec);
+  return H ^ (G * 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2));
+}
+
+bool ResilienceManager::ladderEligible(const AnalysisResult &R) {
+  return !R.Ok &&
+         (R.Fail == FailKind::Deadline || R.Fail == FailKind::Exception);
+}
+
+AnalysisResult ResilienceManager::widenToTopResult(const AnalysisJob &Job) {
+  AnalysisResult R;
+  R.Syms = std::make_shared<SymbolTable>();
+  R.Converged = false;
+  R.Degraded = true;
+  std::string Err;
+  std::optional<InputPattern> Pattern =
+      parseInputPattern(Job.GoalSpec, &Err);
+  if (!Pattern) {
+    // An unparseable goal has no arity to build outputs for; this is a
+    // deterministic input failure, not a degradable one.
+    R.Error = Err;
+    R.Fail = FailKind::BadQuery;
+    R.Degraded = false;
+    return R;
+  }
+  R.Ok = true;
+  // Sound over-approximation of *any* behaviour of the job: the query
+  // may succeed, and every argument may be anything. This is exactly
+  // the engine's own abort-to-top answer, built without the engine.
+  R.QuerySucceeds = true;
+  for (uint32_t I = 0; I != Pattern->arity(); ++I)
+    R.QueryOutput.push_back(TypeGraph::makeAny());
+  return R;
+}
+
+bool ResilienceManager::isQuarantined(const AnalysisJob &Job) const {
+  std::lock_guard<std::mutex> L(M);
+  return Quarantine.count(fingerprint(Job)) != 0;
+}
+
+bool ResilienceManager::preCheck(const AnalysisJob &Job, AnalysisResult &Out,
+                                 RecoveryRung &Rung) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (!Quarantine.count(fingerprint(Job)))
+      return false;
+    ++St.QuarantineShortCircuits;
+  }
+  Out = widenToTopResult(Job);
+  Rung = RecoveryRung::Quarantined;
+  return true;
+}
+
+AnalysisResult ResilienceManager::recover(const AnalysisJob &Job,
+                                          const AnalyzerOptions &BaseOpts,
+                                          AnalysisResult First,
+                                          const Attempt &RunAttempt,
+                                          RecoveryRung &Rung,
+                                          uint32_t &Attempts) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++St.FirstAttemptFailures;
+  }
+
+  // Rung 1: cold retry. Bypassing the shared tier rules out the only
+  // cross-job state as the failure source; for transient faults the
+  // retry alone is usually enough.
+  AnalyzerOptions Cold = BaseOpts;
+  Cold.Shared = nullptr;
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++St.ColdRetries;
+  }
+  AnalysisResult R = RunAttempt(Cold, Attempts++);
+  if (R.Ok) {
+    std::lock_guard<std::mutex> L(M);
+    ++St.ColdRetrySuccesses;
+    // A ladder success resets the exhaustion streak: quarantine is for
+    // jobs that exhaust *consecutively* (a deterministic poison job
+    // always does), not for transient faults spread over many repeats
+    // of the same query.
+    Exhaustions.erase(fingerprint(Job));
+    Rung = RecoveryRung::ColdRetry;
+    return R;
+  }
+  if (!ladderEligible(R)) {
+    // The retry surfaced a deterministic failure (e.g. the first attempt
+    // died to a transient fault before reaching the parser, the retry
+    // reached it and found a parse error): report that, it is the more
+    // precise diagnosis.
+    Rung = RecoveryRung::ColdRetry;
+    return R;
+  }
+
+  // Rung 2: cold + tightened budgets. A job that blew its deadline gets
+  // budgets small enough to converge coarsely or abort-to-top quickly
+  // (MaxInputPatterns = 1 collapses polyvariance, the usual blowup).
+  AnalyzerOptions Tight = Cold;
+  Tight.MaxFixpointRounds = Opts.TightMaxFixpointRounds;
+  Tight.MaxInputPatterns = Opts.TightMaxInputPatterns;
+  Tight.CollectDelta = false; // a coarse run's entries must not promote
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++St.TightRetries;
+  }
+  R = RunAttempt(Tight, Attempts++);
+  if (R.Ok) {
+    std::lock_guard<std::mutex> L(M);
+    ++St.TightRetrySuccesses;
+    Exhaustions.erase(fingerprint(Job)); // success: streak broken
+    Rung = RecoveryRung::TightBudgets;
+    // Tight budgets can change precision relative to the configured run:
+    // the answer is sound but not the normal output — fingerprint-level
+    // consumers must be able to tell.
+    R.Degraded = true;
+    return R;
+  }
+
+  // Ladder exhausted: the sound floor, plus quarantine bookkeeping so a
+  // repeat offender stops reaching workers at all.
+  {
+    std::lock_guard<std::mutex> L(M);
+    ++St.WidenToTopFallbacks;
+    uint64_t F = fingerprint(Job);
+    if (++Exhaustions[F] >= Opts.QuarantineThreshold &&
+        !Quarantine.count(F)) {
+      Quarantine.insert(F);
+      Exhaustions.erase(F);
+      ++St.QuarantinedJobs;
+    }
+  }
+  Rung = RecoveryRung::WidenToTop;
+  AnalysisResult Floor = widenToTopResult(Job);
+  if (Floor.Ok && !First.Error.empty())
+    Floor.Error = "degraded to top after: " + First.Error;
+  return Floor;
+}
+
+ResilienceStats ResilienceManager::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  return St;
+}

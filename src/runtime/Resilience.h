@@ -1,0 +1,148 @@
+//===- runtime/Resilience.h - Failure containment and degradation ---------==//
+///
+/// \file
+/// The serving runtime's failure-handling layer: exception containment
+/// for worker threads plus the retry-with-degradation ladder. Design
+/// (see DESIGN.md, "Failure taxonomy and degradation ladder"):
+///
+///   attempt 0: the configured run (shared tier, normal budgets)
+///   rung 1:    retry *cold* — bypass the shared tier, ruling out the
+///              one piece of cross-job state as the failure source
+///   rung 2:    retry cold with tightened budgets — a pathological job
+///              converges (coarsely) or aborts fast instead of burning
+///              its deadline again
+///   rung 3:    the widen-to-top floor — the sound answer the engine's
+///              own abort path already defines: every output is Any.
+///              Always succeeds; maximally imprecise (Degraded = true).
+///
+/// Only transient-shaped failures climb the ladder (Deadline and
+/// Exception). Deterministic input failures (ParseError, BadQuery)
+/// retry identically and are returned as-is; a Cancelled job's caller
+/// asked for the unwind and gets it.
+///
+/// A job that exhausts rungs 1–2 repeatedly — consecutively, with no
+/// intervening ladder success — is *quarantined*: the manager remembers
+/// its (source, goal) fingerprint and answers it from the widen-to-top
+/// floor immediately, so a poison job never re-enters the hot path to
+/// take a worker hostage again.
+///
+/// The manager is shared by all workers of a pool (and may be shared by
+/// several pools); every method is thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_RUNTIME_RESILIENCE_H
+#define GAIA_RUNTIME_RESILIENCE_H
+
+#include "core/Analyzer.h"
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gaia {
+
+struct AnalysisJob; // runtime/SharedCache.h
+
+/// Ladder configuration.
+struct ResilienceOptions {
+  /// Rung-2 budget overrides: a retry that previously blew a deadline
+  /// gets budgets small enough to terminate (or abort-to-top) quickly.
+  uint32_t TightMaxFixpointRounds = 256;
+  uint32_t TightMaxInputPatterns = 1;
+  /// Consecutive ladder exhaustions (rungs 1-2 both failed, with no
+  /// intervening ladder success for the same fingerprint) before the
+  /// job is quarantined. A deterministic poison job always exhausts
+  /// consecutively; transient faults spread over repeats of the same
+  /// query break the streak on every recovery.
+  uint32_t QuarantineThreshold = 2;
+};
+
+/// Which rung produced a job's final result.
+enum class RecoveryRung : uint8_t {
+  None,        ///< first attempt succeeded (or failure was not eligible)
+  ColdRetry,   ///< rung 1: shared tier bypassed
+  TightBudgets,///< rung 2: cold + tightened budgets
+  WidenToTop,  ///< rung 3: the sound floor
+  Quarantined, ///< answered from the floor without touching a worker
+};
+
+const char *recoveryRungName(RecoveryRung R);
+
+/// Per-rung counters (monotone; read under the manager's lock).
+struct ResilienceStats {
+  uint64_t FirstAttemptFailures = 0;
+  uint64_t ColdRetries = 0;
+  uint64_t ColdRetrySuccesses = 0;
+  uint64_t TightRetries = 0;
+  uint64_t TightRetrySuccesses = 0;
+  uint64_t WidenToTopFallbacks = 0;
+  uint64_t QuarantinedJobs = 0;         ///< fingerprints ever quarantined
+  uint64_t QuarantineShortCircuits = 0; ///< jobs answered from quarantine
+};
+
+/// Runs analyzeProgram with full exception containment: any C++
+/// exception that escapes the analysis (parser, std::bad_alloc, an
+/// internal invariant, an injected chaos fault) is converted into a
+/// structured failure (Ok = false, Fail = FailKind::Exception, Error =
+/// what()). This is the only analysis entry point AnalysisPool workers
+/// use; with it, a worker thread cannot die to a per-job failure.
+AnalysisResult containedAnalyze(const std::string &Source,
+                                const std::string &GoalSpec,
+                                const AnalyzerOptions &Opts) noexcept;
+
+class ResilienceManager {
+public:
+  /// One analysis attempt: runs the job under the given options and
+  /// returns its (contained — the callable must not throw) result. The
+  /// attempt index distinguishes retries, e.g. for fault-stream seeding.
+  using Attempt =
+      std::function<AnalysisResult(const AnalyzerOptions &, uint32_t)>;
+
+  explicit ResilienceManager(ResilienceOptions Opts = {});
+
+  /// Quarantine short-circuit: when \p Job is quarantined, fills \p Out
+  /// with the widen-to-top floor result, sets \p Rung, and returns true
+  /// — the caller must not run the job. Returns false otherwise.
+  bool preCheck(const AnalysisJob &Job, AnalysisResult &Out,
+                RecoveryRung &Rung);
+
+  /// True when \p R is a failure the ladder may retry (Deadline or
+  /// Exception). ParseError/BadQuery are deterministic; Cancelled is the
+  /// caller's own request.
+  static bool ladderEligible(const AnalysisResult &R);
+
+  /// Runs the ladder for \p Job after its first attempt failed with
+  /// \p First (which must be ladderEligible). \p RunAttempt performs one
+  /// retry; \p BaseOpts are the job's configured options. On return,
+  /// \p Rung is the rung that produced the result and \p Attempts has
+  /// been incremented once per retry performed.
+  AnalysisResult recover(const AnalysisJob &Job,
+                         const AnalyzerOptions &BaseOpts,
+                         AnalysisResult First, const Attempt &RunAttempt,
+                         RecoveryRung &Rung, uint32_t &Attempts);
+
+  /// The sound floor: Ok, Degraded, every output slot Any. Built without
+  /// running the engine (a floor that could itself fail is no floor).
+  static AnalysisResult widenToTopResult(const AnalysisJob &Job);
+
+  ResilienceStats stats() const;
+  ResilienceOptions options() const { return Opts; }
+  bool isQuarantined(const AnalysisJob &Job) const;
+
+private:
+  static uint64_t fingerprint(const AnalysisJob &Job);
+
+  const ResilienceOptions Opts;
+  mutable std::mutex M;
+  ResilienceStats St;
+  /// fingerprint -> consecutive ladder exhaustions so far (reset by any
+  /// ladder success for the fingerprint; not yet quarantined).
+  std::unordered_map<uint64_t, uint32_t> Exhaustions;
+  std::unordered_set<uint64_t> Quarantine;
+};
+
+} // namespace gaia
+
+#endif // GAIA_RUNTIME_RESILIENCE_H

@@ -1,0 +1,151 @@
+//===- support/FaultInject.cpp - Deterministic fault injection ------------==//
+
+#include "support/FaultInject.h"
+
+#ifdef GAIA_FAULT_INJECT
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+namespace gaia::faultinject {
+namespace {
+
+struct Config {
+  double Probability = 0.0;
+  uint64_t Seed = 1;
+  uint32_t ProbeMask = ~0u;
+  /// Probability mapped onto the full u64 range so the per-hit test is
+  /// one integer compare against the raw splitmix64 output.
+  uint64_t Threshold = 0;
+};
+
+uint64_t thresholdFor(double P) {
+  if (P <= 0.0)
+    return 0;
+  if (P >= 1.0)
+    return ~0ull;
+  return static_cast<uint64_t>(P * 18446744073709551616.0 /* 2^64 */);
+}
+
+uint32_t parseProbeList(const char *S) {
+  uint32_t Mask = 0;
+  std::string Tok;
+  for (const char *C = S;; ++C) {
+    if (*C && *C != ',') {
+      Tok += *C;
+      continue;
+    }
+    if (Tok == "opcache")
+      Mask |= 1u << unsigned(Probe::OpCacheLookup);
+    else if (Tok == "normalize")
+      Mask |= 1u << unsigned(Probe::Normalize);
+    else if (Tok == "intern")
+      Mask |= 1u << unsigned(Probe::Intern);
+    else if (Tok == "alloc")
+      Mask |= 1u << unsigned(Probe::Alloc);
+    Tok.clear();
+    if (!*C)
+      break;
+  }
+  return Mask;
+}
+
+Config configFromEnv() {
+  Config C;
+  if (const char *P = std::getenv("GAIA_FAULT_P"))
+    C.Probability = std::strtod(P, nullptr);
+  if (const char *S = std::getenv("GAIA_FAULT_SEED"))
+    C.Seed = std::strtoull(S, nullptr, 0);
+  if (const char *L = std::getenv("GAIA_FAULT_PROBES"))
+    C.ProbeMask = parseProbeList(L);
+  C.Threshold = thresholdFor(C.Probability);
+  return C;
+}
+
+/// Env is read once; configure() replaces the whole struct. Guarded by
+/// the usual test discipline (configure before spawning workers) rather
+/// than a lock — workers only read.
+Config &config() {
+  static Config C = configFromEnv();
+  return C;
+}
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+struct ThreadStream {
+  uint64_t State = 0;
+  bool Armed = false;
+  uint64_t Fires = 0;
+};
+
+thread_local ThreadStream Stream;
+
+std::atomic<uint64_t> GlobalFires{0};
+
+} // namespace
+
+void configure(double Probability, uint64_t Seed, uint32_t ProbeMask) {
+  Config &C = config();
+  C.Probability = Probability;
+  C.Seed = Seed;
+  C.ProbeMask = ProbeMask;
+  C.Threshold = thresholdFor(Probability);
+}
+
+JobScope::JobScope(uint64_t Salt) : FiresAtEntry(Stream.Fires) {
+  // Mix the salt through one splitmix64 round so adjacent job indices
+  // land on uncorrelated streams.
+  uint64_t S = config().Seed ^ (Salt * 0xd1342543de82ef95ull + 1);
+  splitmix64(S);
+  Stream.State = S;
+  Stream.Armed = config().Threshold != 0;
+}
+
+JobScope::~JobScope() { Stream.Armed = false; }
+
+uint64_t JobScope::fires() const { return Stream.Fires - FiresAtEntry; }
+
+bool shouldFire(Probe P) {
+  if (!Stream.Armed)
+    return false;
+  const Config &C = config();
+  if (!(C.ProbeMask & (1u << unsigned(P))))
+    return false;
+  if (splitmix64(Stream.State) >= C.Threshold)
+    return false;
+  ++Stream.Fires;
+  GlobalFires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void raise(Probe P) {
+  // Disarm before throwing: the unwind itself allocates/normalizes
+  // nothing, but the ladder's next attempt re-arms explicitly and a
+  // stale armed stream must not leak into post-catch cleanup.
+  Stream.Armed = false;
+  switch (P) {
+  case Probe::OpCacheLookup:
+    throw InjectedFault("injected fault: op-cache lookup");
+  case Probe::Normalize:
+    throw InjectedFault("injected fault: normalization");
+  case Probe::Intern:
+    throw InjectedFault("injected fault: interning");
+  case Probe::Alloc:
+    throw std::bad_alloc();
+  }
+  throw InjectedFault("injected fault");
+}
+
+uint64_t totalFires() { return GlobalFires.load(std::memory_order_relaxed); }
+
+} // namespace gaia::faultinject
+
+#endif // GAIA_FAULT_INJECT

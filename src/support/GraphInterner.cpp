@@ -2,6 +2,7 @@
 
 #include "support/GraphInterner.h"
 
+#include "support/FaultInject.h"
 #include "typegraph/Normalize.h"
 
 #include <atomic>
@@ -153,6 +154,11 @@ CanonId GraphInterner::intern(const TypeGraph &G) {
     Shared->touch(G.internId());
     return G.internId();
   }
+
+  // Chaos probe after the O(1) epoch fast paths: only slow-path interns
+  // (the ones that hash, compare, and may copy into the delta) can
+  // fault, mirroring where a real interner defect would live.
+  GAIA_FAULT_POINT(Intern);
 
   uint64_t H = structuralHash(G);
 

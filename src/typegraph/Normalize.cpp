@@ -3,6 +3,7 @@
 #include "typegraph/Normalize.h"
 
 #include "support/Debug.h"
+#include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/SmallVector.h"
 
@@ -530,6 +531,9 @@ TypeGraph gaia::normalizeGraph(const TypeGraph &G, const SymbolTable &Syms,
   // exactly what the full construction would rebuild.
   if (G.isNormalizedFor(Opts.OrCap, Opts.MaxNodes, Opts.MaxDepth))
     return G;
+  // Chaos probe after the certificate fast path: only normalizations
+  // that actually run the determinizer can fault.
+  GAIA_FAULT_POINT(Normalize);
   return Determinizer(G, Syms, Opts, scratchOr(Scratch)).run({G.root()});
 }
 

@@ -2,6 +2,7 @@
 
 #include "typegraph/OpCache.h"
 
+#include "support/FaultInject.h"
 #include "typegraph/GraphOps.h"
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 using namespace gaia;
 
 bool OpCache::includes(const TypeGraph &Big, const TypeGraph &Small) {
+  GAIA_FAULT_POINT(OpCacheLookup);
   CanonId B = Interned.intern(Big);
   CanonId S = Interned.intern(Small);
   if (B == S)
@@ -36,6 +38,7 @@ bool OpCache::includes(const TypeGraph &Big, const TypeGraph &Small) {
 }
 
 TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
+  GAIA_FAULT_POINT(OpCacheLookup);
   CanonId IA = Interned.intern(A);
   CanonId IB = Interned.intern(B);
   // X U X = X — but only a *certified* canonical graph is known to be a
@@ -90,6 +93,7 @@ TypeGraph OpCache::unionOf(const TypeGraph &A, const TypeGraph &B) {
 }
 
 TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
+  GAIA_FAULT_POINT(OpCacheLookup);
   CanonId IA = Interned.intern(A);
   CanonId IB = Interned.intern(B);
   if (IA == IB && certified(IA)) { // X /\ X = X (see unionOf)
@@ -133,6 +137,7 @@ TypeGraph OpCache::intersectOf(const TypeGraph &A, const TypeGraph &B) {
 TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
                            const WideningOptions &Opts,
                            WideningStats *WStats) {
+  GAIA_FAULT_POINT(OpCacheLookup);
   CanonId IO = Interned.intern(Old);
   CanonId IN = Interned.intern(New);
   if (IO == IN) { // X <= X, so X V X = X (the includes() fast path)
@@ -181,6 +186,7 @@ TypeGraph OpCache::widenOf(const TypeGraph &Old, const TypeGraph &New,
 
 bool OpCache::restrictOf(const TypeGraph &V, FunctorId Fn,
                          std::vector<TypeGraph> &ArgsOut) {
+  GAIA_FAULT_POINT(OpCacheLookup);
   CanonId Id = Interned.intern(V);
   auto Key = std::make_pair(Id, static_cast<uint32_t>(Fn));
   auto Unpack = [&](const RestrictMemo &M) {
@@ -219,6 +225,7 @@ bool OpCache::restrictOf(const TypeGraph &V, FunctorId Fn,
 
 TypeGraph OpCache::constructOf(FunctorId Fn,
                                const std::vector<TypeGraph> &Args) {
+  GAIA_FAULT_POINT(OpCacheLookup);
   std::vector<uint32_t> Key;
   Key.reserve(Args.size() + 1);
   Key.push_back(Fn);

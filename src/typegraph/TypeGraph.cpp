@@ -3,6 +3,7 @@
 #include "typegraph/TypeGraph.h"
 
 #include "support/Debug.h"
+#include "support/FaultInject.h"
 #include "support/GraphInterner.h" // structuralHash, for the cachesFresh audit
 #include "support/PfSetInterner.h"
 
@@ -26,6 +27,7 @@ NodeId TypeGraph::addInt() {
 }
 
 NodeId TypeGraph::addFunc(FunctorId Fn, SuccList Args) {
+  GAIA_FAULT_POINT(Alloc); // chaos probe: throws std::bad_alloc
   invalidateDerived();
   std::vector<TGNode> &Ns = mutableNodes();
   Ns.push_back(TGNode{NodeKind::Func, Fn, std::move(Args)});
@@ -33,6 +35,7 @@ NodeId TypeGraph::addFunc(FunctorId Fn, SuccList Args) {
 }
 
 NodeId TypeGraph::addOr(SuccList Alts) {
+  GAIA_FAULT_POINT(Alloc); // chaos probe: throws std::bad_alloc
   invalidateDerived();
   std::vector<TGNode> &Ns = mutableNodes();
   Ns.push_back(TGNode{NodeKind::Or, InvalidFunctor, std::move(Alts)});

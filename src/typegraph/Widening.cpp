@@ -505,7 +505,11 @@ static TypeGraph widenImpl(const TypeGraph &Gold, const TypeGraph &Gnew,
 
   WidenRun Run(Gold, Gn, Syms, Opts, Stats, Scratch, W);
   uint32_t Transforms = 0;
+  if (Opts.Cancel)
+    Opts.Cancel->poll();
   while (Run.applyOneTransform()) {
+    if (Opts.Cancel)
+      Opts.Cancel->poll();
     ++Transforms;
     if (Transforms > Opts.MaxTransforms) {
       // Defensive budget exhausted. The paper proves the transformation

@@ -28,6 +28,7 @@
 #ifndef GAIA_TYPEGRAPH_WIDENING_H
 #define GAIA_TYPEGRAPH_WIDENING_H
 
+#include "support/Cancellation.h"
 #include "typegraph/GraphOps.h"
 #include "typegraph/Normalize.h"
 #include "typegraph/TypeGraph.h"
@@ -64,6 +65,13 @@ struct WideningOptions {
   /// ad-hoc collapsing union when it also shrinks the graph. Graphs
   /// must be normalized; not owned.
   const std::vector<TypeGraph> *Database = nullptr;
+  /// Optional cooperative stop condition (support/Cancellation.h),
+  /// polled once per transform-loop iteration — the widening's analogue
+  /// of the engine's per-round checkpoint, since a single adversarial
+  /// widening can burn the whole MaxTransforms budget between engine
+  /// polls. A tripped signal throws CancelledError; the analyzer facade
+  /// owns the handler. Null = never cancelled; not owned.
+  const CancelSignal *Cancel = nullptr;
 };
 
 /// Statistics for benchmarks/ablations: how often each rule fired.

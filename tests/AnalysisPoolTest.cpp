@@ -275,6 +275,54 @@ TEST_F(AnalysisPoolTest, LifecycleRotationAcrossThreeGenerationsStaysExact) {
   EXPECT_GT(LastSharedHits, FirstSharedHits);
 }
 
+/// The malformed-input satellite: one bad program in a 100-job batch
+/// fails alone — a structured per-job FailKind::ParseError with the
+/// parser's message and line — while the other 99 jobs stay
+/// bit-identical to their oracle runs. Before the containment layer this
+/// was a silent-loss path (and a worker-killer for inputs that threw).
+TEST_F(AnalysisPoolTest, OneMalformedJobFailsAloneInA100JobBatch) {
+  std::vector<AnalysisJob> Good = section9Jobs();
+  std::vector<AnalysisJob> Batch;
+  size_t BadIndex = 57;
+  while (Batch.size() < 100) {
+    if (Batch.size() == BadIndex)
+      Batch.push_back({"bad", "p(a).\nq(X) :- r(X,.\n", "p(any)"});
+    else
+      Batch.push_back(Good[Batch.size() % Good.size()]);
+  }
+  std::vector<std::string> Oracle(Batch.size());
+  for (size_t I = 0; I != Batch.size(); ++I)
+    if (I != BadIndex)
+      Oracle[I] = fingerprint(analyzeProgram(Batch[I].Source,
+                                             Batch[I].GoalSpec));
+
+  PoolOptions PO;
+  PO.Workers = 4;
+  PO.Shared = Cache;
+  AnalysisPool Pool(PO);
+  BatchStats St;
+  std::vector<JobOutcome> Out = Pool.run(Batch, &St);
+  ASSERT_EQ(Out.size(), Batch.size());
+
+  EXPECT_FALSE(St.AllOk);
+  EXPECT_EQ(St.Failed, 1u);
+  EXPECT_NE(St.FirstError.find("bad: "), std::string::npos) << St.FirstError;
+
+  const AnalysisResult &Bad = Out[BadIndex].Result;
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Fail, FailKind::ParseError);
+  EXPECT_EQ(Bad.FailLine, 2u);
+  EXPECT_NE(Bad.Error.find("line 2"), std::string::npos) << Bad.Error;
+
+  for (size_t I = 0; I != Out.size(); ++I) {
+    if (I == BadIndex)
+      continue;
+    EXPECT_TRUE(Out[I].Result.Ok) << Batch[I].Key;
+    EXPECT_EQ(Oracle[I], fingerprint(Out[I].Result))
+        << Batch[I].Key << " at index " << I;
+  }
+}
+
 TEST_F(AnalysisPoolTest, WorkerInternersShareTierIdsAndNeverAliasDeltas) {
   std::shared_ptr<const FrozenInternTier> Tier = Cache->ops()->Intern;
   CanonId Base = Tier->size();

@@ -41,6 +41,14 @@ over the real sources:
                            RelocationTable API: raw id arithmetic across
                            tier boundaries silently breaks the moment a
                            rebuild renumbers the dense id spaces.
+  worker-noexcept          the serving runtime (src/runtime/) contains
+                           every per-job failure behind noexcept worker
+                           entry points; a naked `throw` or a
+                           process-killing call (abort/exit/_exit/_Exit/
+                           quick_exit/terminate) there either terminates
+                           the process at the noexcept boundary or takes
+                           all in-flight jobs down with it. Failures must
+                           be returned as structured AnalysisResults.
 
 plus two meta-rules over the suppression file itself:
 
@@ -85,6 +93,15 @@ RELOC_BUILDER_CLASSES = ("FrozenInternTier", "FrozenPfTier")
 # Identifiers that mark "this build reads an existing tier": the shared
 # tier member (Shared) or a previous-tier parameter (Prev).
 RELOC_TIER_REFS = ("Shared", "Prev")
+# Directories whose code runs under the worker pool's noexcept
+# containment boundary; the worker-noexcept rule runs only there.
+DEFAULT_WORKER_PATHS = ("src/runtime",)
+WORKER_BANNED_CALLS = ("abort", "exit", "_exit", "_Exit", "quick_exit",
+                       "terminate")
+# `void exit() {}` is a declaration, not a call; an id-followed-by-paren
+# preceded by one of these is a declarator shape and is exempt.
+WORKER_DECL_PRECEDERS = ("void", "int", "auto", "bool", "char", "unsigned",
+                         "signed", "long", "short", "float", "double")
 
 
 @dataclass
@@ -731,6 +748,39 @@ def check_relocation_remap(file, toks, findings):
             "renumbers the dense id spaces"))
 
 
+def check_worker_noexcept(file, toks, findings):
+    """The serving runtime's workers are noexcept at the job boundary
+    (AnalysisPool::runOne): a `throw` that reaches them terminates the
+    process, and abort()/exit() kill it outright — along with every
+    in-flight job of every other worker. Failures in src/runtime/ must
+    be structured AnalysisResults, never control-flow escapes."""
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.text == "throw":
+            findings.append(Finding(
+                "worker-noexcept", file, t.line, "throw",
+                "naked `throw` in the serving runtime: the worker pool is "
+                "noexcept at the job boundary, so an escaping exception "
+                "terminates the whole process; return a structured "
+                "AnalysisResult failure instead"))
+            continue
+        if t.text in WORKER_BANNED_CALLS and i + 1 < n \
+                and toks[i + 1].text == "(":
+            qualified_std = (i >= 2 and toks[i - 1].text == ":"
+                             and toks[i - 2].text == ":")
+            prev_member = i >= 1 and toks[i - 1].text in (".", "->")
+            prev_decl = (i >= 1 and toks[i - 1].kind == "id"
+                         and toks[i - 1].text in WORKER_DECL_PRECEDERS)
+            if (not prev_member and not prev_decl) or qualified_std:
+                findings.append(Finding(
+                    "worker-noexcept", file, t.line, t.text,
+                    f"{t.text}() in the serving runtime kills the process "
+                    "and every in-flight job with it; per-job failures "
+                    "must be contained as structured AnalysisResults"))
+
+
 def check_banned_tokens(file, toks, findings):
     i = 0
     n = len(toks)
@@ -851,7 +901,7 @@ def in_hot_path(file, hot_paths):
                for hp in hot_paths)
 
 
-def lint_files(files, hot_paths, reloc_paths):
+def lint_files(files, hot_paths, reloc_paths, worker_paths):
     findings = []
     toks_by_file = {}
     classes_by_file = {}
@@ -878,6 +928,8 @@ def lint_files(files, hot_paths, reloc_paths):
             check_banned_tokens(f, toks, findings)
         if in_hot_path(f, reloc_paths):
             check_relocation_remap(f, toks, findings)
+        if in_hot_path(f, worker_paths):
+            check_worker_noexcept(f, toks, findings)
     return findings
 
 
@@ -903,6 +955,11 @@ def main(argv=None):
                     help="directory (repo-relative) where the "
                          "relocation-remap rule applies; default: "
                          + ", ".join(DEFAULT_RELOC_PATHS))
+    ap.add_argument("--worker-path", action="append", default=[],
+                    metavar="DIR",
+                    help="directory (repo-relative) where the "
+                         "worker-noexcept rule applies; default: "
+                         + ", ".join(DEFAULT_WORKER_PATHS))
     ap.add_argument("--json", metavar="OUT",
                     help="write a JSON report to OUT")
     args = ap.parse_args(argv)
@@ -914,12 +971,13 @@ def main(argv=None):
 
     hot_paths = args.hot_path or list(DEFAULT_HOT_PATHS)
     reloc_paths = args.reloc_path or list(DEFAULT_RELOC_PATHS)
+    worker_paths = args.worker_path or list(DEFAULT_WORKER_PATHS)
     files = args.files if args.files else files_from_compdb(args.compdb)
     if not files:
         print("gaia-lint: no files to lint", file=sys.stderr)
         return 2
 
-    findings = lint_files(files, hot_paths, reloc_paths)
+    findings = lint_files(files, hot_paths, reloc_paths, worker_paths)
 
     meta_findings = []
     sups = load_suppressions(args.suppressions, meta_findings)

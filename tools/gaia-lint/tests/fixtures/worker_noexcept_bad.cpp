@@ -1,0 +1,38 @@
+// Fixture: control-flow escapes inside the serving runtime's noexcept
+// containment boundary. Expect: worker-noexcept on the naked `throw`
+// and on the abort() call. Member functions that merely *name* exit
+// (Pool.exit(), State->abort()) are calls on runtime objects, not
+// process-killers, and must not be flagged.
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gaia {
+
+struct FakePool {
+  void exit() {}
+  void abort() {}
+};
+
+int runJobBad(int JobIndex) {
+  if (JobIndex < 0)
+    throw std::runtime_error("bad job"); // BAD: escapes the noexcept worker
+  return JobIndex;
+}
+
+int runJobWorse(int JobIndex) {
+  if (JobIndex < 0)
+    std::abort(); // BAD: kills every in-flight job with the process
+  return JobIndex;
+}
+
+int runJobContained(FakePool &Pool, int JobIndex) {
+  if (JobIndex < 0) {
+    Pool.exit();  // ok: member call, not the process-killer
+    Pool.abort(); // ok: member call, not the process-killer
+    return -1;    // structured failure path
+  }
+  return JobIndex;
+}
+
+} // namespace gaia

@@ -48,6 +48,10 @@ CASES = {
         [("relocation-remap", "refreezeStacked")],
         ["freezeFresh", "refreezeRelocated"],
     ),
+    "worker_noexcept_bad.cpp": (
+        [("worker-noexcept", "throw"), ("worker-noexcept", "abort")],
+        ["exit", "runJobContained"],
+    ),
 }
 
 
@@ -58,7 +62,8 @@ def run_lint(files, extra=()):
     try:
         proc = subprocess.run(
             [sys.executable, LINT, *files, "--hot-path", FIXTURES,
-             "--reloc-path", FIXTURES, "--json", report_path, *extra],
+             "--reloc-path", FIXTURES, "--worker-path", FIXTURES,
+             "--json", report_path, *extra],
             capture_output=True, text=True)
         with open(report_path, encoding="utf-8") as fp:
             report = json.load(fp)
