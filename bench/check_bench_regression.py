@@ -60,10 +60,37 @@ Lifecycle gate (--lifecycle) — checks BENCH_tier_lifecycle.json
   sets are (jobs are deterministic; the union over a batch is
   order-independent).
 
+Service gate (--service) — checks BENCH_service.json (bench/service_soak,
+the resident-service overload ramp) and fails when
+
+  * any leg reports unstructured_failures or non_rejected_refusals
+    (every job the service does not run must resolve its ticket with
+    FailKind::Rejected — refusal is never an exception, never silent),
+  * identical_all is false (an admitted, undegraded job's result
+    diverged from the sequential oracle) or post_drain_tier_identical
+    is false (the drain-time lifecycle rotation changed results),
+  * the heaviest non-chaos leg (4x measured capacity) does not shed: an
+    overloaded open-loop generator must see shed_rate >= SERVICE_MIN_SHED_4X,
+    or its admitted p99 exceeds deadline_ms * (1 + SERVICE_P99_HEADROOM)
+    + SERVICE_P99_SLACK_MS (admission control must protect the jobs it
+    accepts rather than queue them past their deadline), or
+  * the lightest leg (0.5x capacity) sheds more than SERVICE_MAX_SHED_HALF
+    (a service that refuses work at half its measured capacity has a
+    broken admission path, not an overload problem).
+
+  Chaos legs (chaos: true) are gated structurally only: fault-lengthened
+  run times make their latency and shed figures configuration, not
+  regression. The service gate is self-contained (no baseline file):
+  the load multiples are derived from the same run's measured capacity,
+  so the thresholds are machine-relative by construction.
+
 Usage:
-  check_bench_regression.py <table3.json> [<table3-baseline.json>]
+  check_bench_regression.py [<table3.json> [<table3-baseline.json>]]
       [--throughput <throughput.json> [<throughput-baseline.json>]]
       [--lifecycle <tier_lifecycle.json>]
+      [--service <service.json>]
+The table3 positional may be omitted when at least one mode flag is
+given (the service-soak CI job gates only its own snapshot).
 Exit status: 0 ok, 1 regression/non-convergence/divergence, 2 bad invocation.
 """
 
@@ -96,6 +123,21 @@ RSS_FLOOR_KB = 2048
 # trend upward — 25% headroom over the first compacted generation.
 PLATEAU_TOLERANCE = 0.25
 LIFECYCLE_KEYS = ("identical_all", "runs", "compaction_start_generation")
+# Service soak: the 4x leg must shed at least this fraction (an
+# open-loop generator at 4x measured capacity leaves ~3/4 of the offered
+# load unservable; 20% is far below that but far above noise), the 0.5x
+# leg at most this fraction, and admitted p99 on non-chaos legs must
+# stay within deadline * (1 + headroom) + slack (the end-to-end deadline
+# bounds queue wait; the slack absorbs the final job's run time and
+# scheduler jitter on CI runners).
+SERVICE_MIN_SHED_4X = 0.20
+SERVICE_MAX_SHED_HALF = 0.10
+SERVICE_P99_HEADROOM = 0.25
+SERVICE_P99_SLACK_MS = 20.0
+SERVICE_KEYS = ("deadline_ms", "capacity", "legs", "identical_all",
+                "post_drain_tier_identical")
+SERVICE_LEG_KEYS = ("multiple", "chaos", "submitted", "shed_rate", "p99_ms",
+                    "unstructured_failures", "non_rejected_refusals")
 
 
 def fail_config(msg):
@@ -330,10 +372,106 @@ def check_lifecycle(path):
     return failed
 
 
+def check_service(path):
+    current = load_snapshot(path, SERVICE_KEYS, "service snapshot")
+
+    failed = False
+
+    legs = current["legs"]
+    if not isinstance(legs, list) or not legs:
+        fail_config(f"service snapshot '{path}': 'legs' must be a non-empty list")
+    for i, leg in enumerate(legs):
+        if not isinstance(leg, dict):
+            fail_config(f"service snapshot '{path}': legs[{i}] is not an object")
+        missing = [k for k in SERVICE_LEG_KEYS if k not in leg]
+        if missing:
+            fail_config(
+                f"service snapshot '{path}': legs[{i}] is missing "
+                f"{', '.join(missing)}"
+            )
+
+    if not current.get("identical_all", False):
+        print(
+            "FAIL: an admitted, undegraded job's result diverged from the "
+            "sequential oracle"
+        )
+        failed = True
+    if not current.get("post_drain_tier_identical", False):
+        print(
+            "FAIL: the post-drain promoted tier changed an analysis result "
+            "(lifecycle rotation must be observationally invisible)"
+        )
+        failed = True
+
+    deadline = current["deadline_ms"]
+    p99_limit = deadline * (1.0 + SERVICE_P99_HEADROOM) + SERVICE_P99_SLACK_MS
+
+    for leg in legs:
+        mult = leg["multiple"]
+        chaos = leg.get("chaos", False)
+        tag = f"{mult:.1f}x" + (" (chaos)" if chaos else "")
+        unstructured = leg["unstructured_failures"]
+        bad_rejects = leg["non_rejected_refusals"]
+        if unstructured:
+            print(
+                f"FAIL: {tag} leg: {unstructured} job(s) failed without a "
+                f"structured FailKind"
+            )
+            failed = True
+        if bad_rejects:
+            print(
+                f"FAIL: {tag} leg: {bad_rejects} refused job(s) resolved "
+                f"without FailKind::Rejected"
+            )
+            failed = True
+
+        shed = leg["shed_rate"]
+        p99 = leg["p99_ms"]
+        notes = []
+        if chaos:
+            notes.append("latency/shed not gated (chaos leg)")
+        else:
+            if p99 > p99_limit:
+                notes.append(
+                    f"P99 REGRESSION ({p99:.1f}ms > limit {p99_limit:.1f}ms "
+                    f"for a {deadline}ms deadline)"
+                )
+                failed = True
+            if mult >= 4.0 and shed < SERVICE_MIN_SHED_4X:
+                notes.append(
+                    f"SHED TOO LOW ({shed:.1%} < {SERVICE_MIN_SHED_4X:.0%} "
+                    f"at {mult:.0f}x capacity — overload is not shedding)"
+                )
+                failed = True
+            if mult <= 0.5 and shed > SERVICE_MAX_SHED_HALF:
+                notes.append(
+                    f"SHED TOO HIGH ({shed:.1%} > {SERVICE_MAX_SHED_HALF:.0%} "
+                    f"at {mult:.1f}x capacity — admission is refusing "
+                    f"servable work)"
+                )
+                failed = True
+        if not notes:
+            notes.append("ok")
+        print(
+            f"  service {tag:12s} submitted {leg['submitted']:>7} "
+            f"shed {shed:6.1%}  p99 {p99:8.1f}ms  {'; '.join(notes)}"
+        )
+
+    return failed
+
+
 def main(argv):
     args = argv[1:]
     tp_current = tp_baseline = None
     lc_current = None
+    sv_current = None
+    if "--service" in args:
+        i = args.index("--service")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        sv_current = args[i + 1]
+        args = args[:i] + args[i + 2 :]
     if "--lifecycle" in args:
         i = args.index("--lifecycle")
         if i + 1 >= len(args):
@@ -353,16 +491,24 @@ def main(argv):
         )
         args = args[:i]
 
-    if len(args) < 1 or len(args) > 2:
+    any_mode = tp_current is not None or lc_current is not None \
+        or sv_current is not None
+    if len(args) > 2 or (not args and not any_mode):
         print(__doc__, file=sys.stderr)
         return 2
-    table3_baseline = args[1] if len(args) == 2 else "bench/BENCH_table3.baseline.json"
 
-    failed = check_table3(args[0], table3_baseline)
+    failed = False
+    if args:
+        table3_baseline = (
+            args[1] if len(args) == 2 else "bench/BENCH_table3.baseline.json"
+        )
+        failed = check_table3(args[0], table3_baseline)
     if tp_current is not None:
         failed = check_throughput(tp_current, tp_baseline) or failed
     if lc_current is not None:
         failed = check_lifecycle(lc_current) or failed
+    if sv_current is not None:
+        failed = check_service(sv_current) or failed
 
     return 1 if failed else 0
 

@@ -22,10 +22,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "runtime/AnalysisPool.h"
+#include "BenchUtil.h"
 
 #include "core/Report.h"
 #include "programs/Benchmarks.h"
+#include "runtime/AnalysisPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,62 +41,11 @@ using namespace gaia;
 
 namespace {
 
-/// The distinct (program, goal) queries of the workload: each Section 9
-/// program's published goal plus variants specializing the first
-/// argument — the repeated-query shape a type-analysis service sees.
-std::vector<AnalysisJob> distinctQueries() {
-  std::vector<AnalysisJob> Queries;
-  for (const BenchmarkProgram &B : table123Suite()) {
-    Queries.push_back({B.Key, B.Source, B.GoalSpec});
-    for (const char *Spec : {"list", "int"}) {
-      std::string Goal = B.GoalSpec;
-      size_t Pos = Goal.find("any");
-      if (Pos == std::string::npos)
-        continue;
-      Goal.replace(Pos, 3, Spec);
-      Queries.push_back({B.Key + "#" + Spec, B.Source, Goal});
-    }
-  }
-  return Queries;
-}
-
 struct WorkerRun {
   uint32_t Workers = 0;
   BatchStats St;
   bool Identical = true;
 };
-
-/// Minimal JSON string escaping for the first_error field (parser
-/// messages can carry quotes and backslashes from source excerpts).
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
 
 long peakRssKb() {
   struct rusage U {};
@@ -112,7 +62,7 @@ int main(int argc, char **argv) {
   if (const char *E = std::getenv("BENCH_THROUGHPUT_REPEAT"))
     Repeat = std::max(1u, static_cast<unsigned>(std::strtoul(E, nullptr, 10)));
 
-  std::vector<AnalysisJob> Queries = distinctQueries();
+  std::vector<AnalysisJob> Queries = serviceQueryMix();
   std::vector<AnalysisJob> Batch;
   for (unsigned R = 0; R != Repeat; ++R)
     Batch.insert(Batch.end(), Queries.begin(), Queries.end());
@@ -160,41 +110,47 @@ int main(int argc, char **argv) {
   std::printf("workers  wall(s)   jobs/s  speedup  eff%%  shared%%  "
               "identical\n");
 
-  std::vector<WorkerRun> Runs;
-  bool AllIdentical = true;
-  uint32_t TotalFailed = 0;
-  std::string FirstError;
-  double Base = 0;
-  for (uint32_t Workers : {1u, 2u, 4u, 8u}) {
-    PoolOptions PO;
-    PO.Workers = Workers;
-    PO.Shared = Cache;
-    AnalysisPool Pool(PO);
-    // One untimed wave lets the OS settle thread placement; the timed
-    // wave follows on warm threads.
-    Pool.run(Batch);
-    WorkerRun Run;
-    Run.Workers = Workers;
-    std::vector<JobOutcome> Out = Pool.run(Batch, &Run.St);
+  // The timed waves are the shared queue-free capacity measurement
+  // (bench/BenchUtil.h) — service_soak derives its load multiples from
+  // the same helper over the same mix, so "4x capacity" there means 4x
+  // what these rows report.
+  std::map<uint32_t, bool> IdenticalByWorkers;
+  auto Verify = [&](uint32_t Workers, const std::vector<JobOutcome> &Out) {
+    bool Identical = true;
     for (size_t I = 0; I != Out.size(); ++I) {
       const AnalysisJob &J = Batch[I];
       if (analysisFingerprint(Out[I].Result) !=
           Oracle[J.Key + "|" + J.GoalSpec]) {
         std::fprintf(stderr, "MISMATCH: %s (%s) on %u workers\n",
                      J.Key.c_str(), J.GoalSpec.c_str(), Workers);
-        Run.Identical = false;
+        Identical = false;
       }
     }
+    IdenticalByWorkers[Workers] = Identical;
+  };
+  std::vector<CapacityPoint> Points =
+      measureQueueFreeCapacity(Batch, Cache, {1, 2, 4, 8}, Verify);
+
+  std::vector<WorkerRun> Runs;
+  bool AllIdentical = true;
+  uint32_t TotalFailed = 0;
+  std::string FirstError;
+  double Base = 0;
+  for (const CapacityPoint &P : Points) {
+    WorkerRun Run;
+    Run.Workers = P.Workers;
+    Run.St = P.St;
+    Run.Identical = IdenticalByWorkers[P.Workers];
     AllIdentical = AllIdentical && Run.Identical;
     TotalFailed += Run.St.Failed;
     if (FirstError.empty() && !Run.St.FirstError.empty())
       FirstError = Run.St.FirstError;
-    if (Workers == 1)
+    if (Run.Workers == 1)
       Base = Run.St.JobsPerSecond;
     double Speedup = Base > 0 ? Run.St.JobsPerSecond / Base : 0;
-    std::printf("%7u %8.3f %8.1f %8.2f %5.1f %8.1f  %s\n", Workers,
+    std::printf("%7u %8.3f %8.1f %8.2f %5.1f %8.1f  %s\n", Run.Workers,
                 Run.St.WallSeconds, Run.St.JobsPerSecond, Speedup,
-                100.0 * Speedup / Workers,
+                100.0 * Speedup / Run.Workers,
                 100.0 * Run.St.sharedHitRate(),
                 Run.Identical ? "yes" : "NO");
     Runs.push_back(Run);

@@ -168,6 +168,11 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
     if (Opts.Domain == DomainKind::TypeGraphs) {
       NormalizeOptions Norm;
       Norm.OrCap = Opts.OrCap;
+      // Inner poll points: one normalization of a blown-up graph can
+      // otherwise burn a whole deadline between two engine-round
+      // checkpoints. The signal outlives the per-run op cache (both live
+      // on this frame), so the raw pointer below cannot dangle.
+      Norm.Cancel = EngOpts.Cancel;
       WideningOptions Widen;
       Widen.Norm = Norm;
       Widen.Mode = Opts.Widening;
@@ -260,6 +265,8 @@ const char *gaia::failKindName(FailKind K) {
     return "cancelled";
   case FailKind::Exception:
     return "exception";
+  case FailKind::Rejected:
+    return "rejected";
   }
   return "unknown";
 }

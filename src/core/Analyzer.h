@@ -46,6 +46,9 @@ enum class FailKind : uint8_t {
   Deadline,   ///< AnalyzerOptions::DeadlineMs expired mid-analysis
   Cancelled,  ///< AnalyzerOptions::Cancel token tripped mid-analysis
   Exception,  ///< a C++ exception escaped the analysis (containment path)
+  Rejected,   ///< the serving layer refused or shed the job before it ran
+              ///< (admission policy, overload shedding, or drain) — the
+              ///< analysis itself was never attempted
 };
 
 /// Printable name for logs and JSON snapshots.

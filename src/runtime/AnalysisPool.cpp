@@ -2,8 +2,6 @@
 
 #include "runtime/AnalysisPool.h"
 
-#include "support/FaultInject.h"
-
 #include <chrono>
 
 using namespace gaia;
@@ -32,64 +30,26 @@ AnalysisPool::~AnalysisPool() {
 
 JobOutcome AnalysisPool::runOne(const AnalysisJob &Job, uint32_t WorkerIndex,
                                 size_t JobIndex) const noexcept {
-  JobOutcome O;
-  O.Worker = WorkerIndex;
-  auto Start = std::chrono::steady_clock::now();
-  // Belt over the containment: containedAnalyze and the ladder are
-  // themselves noexcept/contained, but this function is the last frame
-  // before workerLoop — an escape here would terminate the process, so
-  // even "impossible" throws (an allocator failure building the outcome
-  // string, say) get converted to a structured failure.
   try {
     AnalyzerOptions JobOpts = Options.Opts;
     JobOpts.Shared = Options.Shared;
     JobOpts.CollectDelta = Options.CollectDeltas;
     JobOpts.DeltaMinHits = Options.DeltaMinHits;
-
-    ResilienceManager *Res = Options.Resilience.get();
-    if (Res && Res->preCheck(Job, O.Result, O.Rung)) {
-      // Quarantined: answered from the floor without running anything.
-      O.Attempts = 0;
-      O.Seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count();
-      return O;
-    }
-
-    // One contained attempt. The chaos fault stream (a no-op unless the
-    // build has GAIA_FAULT_INJECT) is armed per (job, attempt), so the
-    // fault plan depends only on the batch composition and the seed —
-    // never on which worker drew the job — and a retry draws a fresh
-    // stream, making injected faults behave like transient errors.
-    auto RunAttempt = [&](const AnalyzerOptions &AOpts,
-                          uint32_t AttemptIdx) {
-#ifdef GAIA_FAULT_INJECT
-      faultinject::JobScope Scope(static_cast<uint64_t>(JobIndex) * 251 +
-                                  AttemptIdx);
-      AnalysisResult R = containedAnalyze(Job.Source, Job.GoalSpec, AOpts);
-      O.FaultFires += Scope.fires();
-      return R;
-#else
-      (void)JobIndex;
-      (void)AttemptIdx;
-      return containedAnalyze(Job.Source, Job.GoalSpec, AOpts);
-#endif
-    };
-
-    O.Result = RunAttempt(JobOpts, 0);
-    if (!O.Result.Ok && Res && ResilienceManager::ladderEligible(O.Result))
-      O.Result = Res->recover(Job, JobOpts, std::move(O.Result), RunAttempt,
-                              O.Rung, O.Attempts);
+    JobOutcome O = runContainedJob(Job, JobOpts, Options.Resilience.get(),
+                                   static_cast<uint64_t>(JobIndex) * 251);
+    O.Worker = WorkerIndex;
+    return O;
   } catch (...) {
-    O.Result = AnalysisResult();
+    // The per-batch option copy above is the only code outside
+    // runContainedJob's own containment; an allocator failure there
+    // still must not reach workerLoop.
+    JobOutcome O;
+    O.Worker = WorkerIndex;
     O.Result.Fail = FailKind::Exception;
     O.Result.Error = "exception escaped the job runner";
     O.Result.Converged = false;
+    return O;
   }
-  O.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
-  return O;
 }
 
 void AnalysisPool::workerLoop(uint32_t WorkerIndex) {

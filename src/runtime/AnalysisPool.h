@@ -51,21 +51,9 @@ struct PoolOptions {
   std::shared_ptr<ResilienceManager> Resilience;
 };
 
-/// One finished job.
-struct JobOutcome {
-  AnalysisResult Result;
-  double Seconds = 0;  ///< wall time of this job on its worker
-  uint32_t Worker = 0; ///< index of the worker that ran it
-  /// Which resilience rung produced Result (None: the first attempt —
-  /// or the job failed with no ladder configured / an ineligible kind).
-  RecoveryRung Rung = RecoveryRung::None;
-  /// Analysis attempts consumed (1 = no retries; 0 = quarantined jobs,
-  /// which never reach the engine).
-  uint32_t Attempts = 1;
-  /// Injected chaos faults that fired during this job's attempts (0
-  /// unless the build has GAIA_FAULT_INJECT and a fault plan is armed).
-  uint64_t FaultFires = 0;
-};
+// JobOutcome — one finished job — lives in runtime/Resilience.h so the
+// whole containment stack (pool, service, lifecycle) shares one result
+// shape.
 
 /// Aggregate figures for one run() call.
 struct BatchStats {
@@ -135,9 +123,10 @@ private:
   };
 
   void workerLoop(uint32_t WorkerIndex);
-  /// Runs one job with exception containment and, when configured, the
-  /// resilience ladder. noexcept: no per-job failure reaches workerLoop
-  /// (a throw here would take the whole process down).
+  /// Thin wrapper over runContainedJob (runtime/Resilience.h): applies
+  /// the pool's per-batch options and stamps the worker index. noexcept:
+  /// no per-job failure reaches workerLoop (a throw here would take the
+  /// whole process down).
   JobOutcome runOne(const AnalysisJob &Job, uint32_t WorkerIndex,
                     size_t JobIndex) const noexcept;
 

@@ -4,7 +4,9 @@
 
 #include "core/InputPattern.h"
 #include "runtime/SharedCache.h"
+#include "support/FaultInject.h"
 
+#include <chrono>
 #include <exception>
 
 using namespace gaia;
@@ -93,16 +95,47 @@ bool ResilienceManager::isQuarantined(const AnalysisJob &Job) const {
 }
 
 bool ResilienceManager::preCheck(const AnalysisJob &Job, AnalysisResult &Out,
-                                 RecoveryRung &Rung) {
+                                 RecoveryRung &Rung, bool *Probe) {
+  if (Probe)
+    *Probe = false;
   {
     std::lock_guard<std::mutex> L(M);
-    if (!Quarantine.count(fingerprint(Job)))
+    auto It = Quarantine.find(fingerprint(Job));
+    if (It == Quarantine.end())
       return false;
+    if (Opts.QuarantineProbeAfter != 0 &&
+        It->second >= Opts.QuarantineProbeAfter) {
+      // TTL expired: let this request through as a probe. The counter
+      // resets now, so a caller that never reports the probe's outcome
+      // degrades to "probe every QuarantineProbeAfter requests" rather
+      // than probing on every subsequent one.
+      It->second = 0;
+      ++St.QuarantineProbes;
+      if (Probe)
+        *Probe = true;
+      return false;
+    }
+    ++It->second;
     ++St.QuarantineShortCircuits;
   }
   Out = widenToTopResult(Job);
   Rung = RecoveryRung::Quarantined;
   return true;
+}
+
+void ResilienceManager::probeResult(const AnalysisJob &Job, bool Restored) {
+  std::lock_guard<std::mutex> L(M);
+  uint64_t F = fingerprint(Job);
+  auto It = Quarantine.find(F);
+  if (It == Quarantine.end())
+    return; // released by a concurrent probe already
+  if (Restored) {
+    Quarantine.erase(It);
+    Exhaustions.erase(F);
+    ++St.QuarantineReleases;
+  } else {
+    It->second = 0; // failed probe: re-arm for a full TTL window
+  }
 }
 
 AnalysisResult ResilienceManager::recover(const AnalysisJob &Job,
@@ -178,7 +211,7 @@ AnalysisResult ResilienceManager::recover(const AnalysisJob &Job,
     uint64_t F = fingerprint(Job);
     if (++Exhaustions[F] >= Opts.QuarantineThreshold &&
         !Quarantine.count(F)) {
-      Quarantine.insert(F);
+      Quarantine.emplace(F, 0u);
       Exhaustions.erase(F);
       ++St.QuarantinedJobs;
     }
@@ -193,4 +226,63 @@ AnalysisResult ResilienceManager::recover(const AnalysisJob &Job,
 ResilienceStats ResilienceManager::stats() const {
   std::lock_guard<std::mutex> L(M);
   return St;
+}
+
+JobOutcome gaia::runContainedJob(const AnalysisJob &Job,
+                                 const AnalyzerOptions &Opts,
+                                 ResilienceManager *Res,
+                                 uint64_t FaultSaltBase) noexcept {
+  JobOutcome O;
+  auto Start = std::chrono::steady_clock::now();
+  // Belt over the containment: containedAnalyze and the ladder are
+  // themselves noexcept/contained, but this function is the last frame
+  // before a worker loop — an escape here would terminate the process,
+  // so even "impossible" throws (an allocator failure building the
+  // outcome string, say) get converted to a structured failure.
+  try {
+    bool Probe = false;
+    if (Res && Res->preCheck(Job, O.Result, O.Rung, &Probe)) {
+      // Quarantined: answered from the floor without running anything.
+      O.Attempts = 0;
+      O.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      return O;
+    }
+
+    // One contained attempt. The chaos fault stream (a no-op unless the
+    // build has GAIA_FAULT_INJECT) is armed per (job, attempt), so the
+    // fault plan depends only on the batch composition and the seed —
+    // never on which worker drew the job — and a retry draws a fresh
+    // stream, making injected faults behave like transient errors.
+    auto RunAttempt = [&](const AnalyzerOptions &AOpts,
+                          uint32_t AttemptIdx) {
+#ifdef GAIA_FAULT_INJECT
+      faultinject::JobScope Scope(FaultSaltBase + AttemptIdx);
+      AnalysisResult R = containedAnalyze(Job.Source, Job.GoalSpec, AOpts);
+      O.FaultFires += Scope.fires();
+      return R;
+#else
+      (void)FaultSaltBase;
+      (void)AttemptIdx;
+      return containedAnalyze(Job.Source, Job.GoalSpec, AOpts);
+#endif
+    };
+
+    O.Result = RunAttempt(Opts, 0);
+    if (!O.Result.Ok && Res && ResilienceManager::ladderEligible(O.Result))
+      O.Result = Res->recover(Job, Opts, std::move(O.Result), RunAttempt,
+                              O.Rung, O.Attempts);
+    if (Probe)
+      Res->probeResult(Job, O.Result.Ok && !O.Result.Degraded);
+  } catch (...) {
+    O.Result = AnalysisResult();
+    O.Result.Fail = FailKind::Exception;
+    O.Result.Error = "exception escaped the job runner";
+    O.Result.Converged = false;
+  }
+  O.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return O;
 }

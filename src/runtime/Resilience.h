@@ -26,6 +26,14 @@
 /// floor immediately, so a poison job never re-enters the hot path to
 /// take a worker hostage again.
 ///
+/// Quarantine is not a life sentence: a fingerprint condemned by a run
+/// of *transient* faults (an injected bad_alloc streak, a deadline blown
+/// under momentary overload) would otherwise be stuck on the floor
+/// forever. After QuarantineProbeAfter short-circuits the next request
+/// for the fingerprint is let through as a *probe*; a probe that earns a
+/// non-degraded result releases the quarantine, a probe that fails (or
+/// only survives degraded) re-arms it for another TTL window.
+///
 /// The manager is shared by all workers of a pool (and may be shared by
 /// several pools); every method is thread-safe.
 ///
@@ -39,7 +47,6 @@
 #include <functional>
 #include <mutex>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace gaia {
 
@@ -57,6 +64,12 @@ struct ResilienceOptions {
   /// consecutively; transient faults spread over repeats of the same
   /// query break the streak on every recovery.
   uint32_t QuarantineThreshold = 2;
+  /// Count-based quarantine TTL: after this many quarantine
+  /// short-circuits for a fingerprint, the next request probes through
+  /// to a real run so a transiently-condemned job can re-earn full
+  /// service (the probe's outcome is reported back via probeResult).
+  /// 0 restores the pre-TTL behaviour: quarantine is permanent.
+  uint32_t QuarantineProbeAfter = 8;
 };
 
 /// Which rung produced a job's final result.
@@ -70,6 +83,23 @@ enum class RecoveryRung : uint8_t {
 
 const char *recoveryRungName(RecoveryRung R);
 
+/// One finished job (the unit both AnalysisPool batches and
+/// AnalysisService tickets deliver).
+struct JobOutcome {
+  AnalysisResult Result;
+  double Seconds = 0;  ///< wall time of this job on its worker
+  uint32_t Worker = 0; ///< index of the worker that ran it
+  /// Which resilience rung produced Result (None: the first attempt —
+  /// or the job failed with no ladder configured / an ineligible kind).
+  RecoveryRung Rung = RecoveryRung::None;
+  /// Analysis attempts consumed (1 = no retries; 0 = quarantined jobs,
+  /// which never reach the engine).
+  uint32_t Attempts = 1;
+  /// Injected chaos faults that fired during this job's attempts (0
+  /// unless the build has GAIA_FAULT_INJECT and a fault plan is armed).
+  uint64_t FaultFires = 0;
+};
+
 /// Per-rung counters (monotone; read under the manager's lock).
 struct ResilienceStats {
   uint64_t FirstAttemptFailures = 0;
@@ -80,6 +110,8 @@ struct ResilienceStats {
   uint64_t WidenToTopFallbacks = 0;
   uint64_t QuarantinedJobs = 0;         ///< fingerprints ever quarantined
   uint64_t QuarantineShortCircuits = 0; ///< jobs answered from quarantine
+  uint64_t QuarantineProbes = 0;   ///< TTL expiries let through as probes
+  uint64_t QuarantineReleases = 0; ///< probes that re-earned full service
 };
 
 /// Runs analyzeProgram with full exception containment: any C++
@@ -105,8 +137,19 @@ public:
   /// Quarantine short-circuit: when \p Job is quarantined, fills \p Out
   /// with the widen-to-top floor result, sets \p Rung, and returns true
   /// — the caller must not run the job. Returns false otherwise.
+  /// When the fingerprint's quarantine TTL has expired the job is let
+  /// through as a *probe*: preCheck returns false, sets \p Probe (when
+  /// non-null) to true, and the caller must report how the probe fared
+  /// via probeResult() — dropping the report leaves the fingerprint
+  /// quarantined with a reset TTL window, which is safe but slow.
   bool preCheck(const AnalysisJob &Job, AnalysisResult &Out,
-                RecoveryRung &Rung);
+                RecoveryRung &Rung, bool *Probe = nullptr);
+
+  /// Reports a probe's outcome. \p Restored means the job earned a
+  /// non-degraded Ok (first attempt or the cold rung): the fingerprint
+  /// is released from quarantine and its exhaustion history cleared.
+  /// Otherwise the quarantine re-arms for another TTL window.
+  void probeResult(const AnalysisJob &Job, bool Restored);
 
   /// True when \p R is a failure the ladder may retry (Deadline or
   /// Exception). ParseError/BadQuery are deterministic; Cancelled is the
@@ -140,8 +183,26 @@ private:
   /// fingerprint -> consecutive ladder exhaustions so far (reset by any
   /// ladder success for the fingerprint; not yet quarantined).
   std::unordered_map<uint64_t, uint32_t> Exhaustions;
-  std::unordered_set<uint64_t> Quarantine;
+  /// fingerprint -> short-circuits served since quarantine (or since the
+  /// last failed probe). Membership is the quarantine verdict; the count
+  /// is the TTL clock.
+  std::unordered_map<uint64_t, uint32_t> Quarantine;
 };
+
+/// Runs one job end-to-end under the full containment stack shared by
+/// AnalysisPool workers and AnalysisService workers: quarantine
+/// preCheck (with probe-through reporting), one contained attempt with
+/// a deterministic per-(job, attempt) chaos-fault scope, and — when
+/// \p Res is non-null and the failure is ladder-eligible — the recovery
+/// ladder. \p FaultSaltBase seeds the fault stream (the convention is
+/// job-index * 251; the attempt index is added per retry), so the fault
+/// plan depends only on job identity, never on which worker ran it.
+/// noexcept: this is the last frame before a worker loop — even
+/// "impossible" throws become structured failures.
+JobOutcome runContainedJob(const AnalysisJob &Job,
+                           const AnalyzerOptions &Opts,
+                           ResilienceManager *Res,
+                           uint64_t FaultSaltBase) noexcept;
 
 } // namespace gaia
 

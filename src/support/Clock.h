@@ -1,0 +1,65 @@
+//===- support/Clock.h - Monotonic clock shim for the serving layer -------==//
+///
+/// \file
+/// The serving runtime's time source. All queue-side time arithmetic in
+/// AnalysisService — enqueue stamps, per-request deadline horizons, queue
+/// age, the overload state machine's thresholds, the watchdog's
+/// stuck-worker detection — goes through ServiceClock::now() instead of
+/// calling std::chrono::steady_clock directly.
+///
+/// The indirection exists for one reason: testability. The interesting
+/// admission behaviours (a queued job whose deadline expires before a
+/// worker reaches it, the Healthy → Saturated → Shedding transitions)
+/// are defined by elapsed wall time, and a test that reproduced them by
+/// actually sleeping would be slow and racy. advance() skews the clock
+/// forward by a fixed offset, so a test can park jobs in the queue,
+/// "age" them instantly, and observe the shed/overload decisions
+/// deterministically.
+///
+/// The skew deliberately does NOT reach the analysis itself: an
+/// in-flight job's cooperative deadline (CancelSignal) keeps reading the
+/// raw steady clock, so skewing time never aborts real computation —
+/// only the queue-side bookkeeping moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SUPPORT_CLOCK_H
+#define GAIA_SUPPORT_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+
+namespace gaia {
+
+/// Monotonic now() = steady_clock + a test-controlled skew. The skew is
+/// process-global and only ever grows (advance() takes an unsigned
+/// duration), preserving monotonicity across all readers.
+class ServiceClock {
+public:
+  using Duration = std::chrono::steady_clock::duration;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static TimePoint now() {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<Duration>(std::chrono::nanoseconds(
+               SkewNs.load(std::memory_order_relaxed)));
+  }
+
+  /// Test hook: moves every subsequent now() forward by \p By. Safe from
+  /// any thread (production code never calls it).
+  static void advance(std::chrono::nanoseconds By) {
+    if (By.count() > 0)
+      SkewNs.fetch_add(By.count(), std::memory_order_relaxed);
+  }
+
+  /// Test hook: drops any accumulated skew (between test cases only —
+  /// rewinding time under a live service would break queue-age math).
+  static void resetForTest() { SkewNs.store(0, std::memory_order_relaxed); }
+
+private:
+  static inline std::atomic<int64_t> SkewNs{0};
+};
+
+} // namespace gaia
+
+#endif // GAIA_SUPPORT_CLOCK_H

@@ -5,10 +5,12 @@
 #ifdef GAIA_FAULT_INJECT
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 
 namespace gaia::faultinject {
 namespace {
@@ -20,6 +22,10 @@ struct Config {
   /// Probability mapped onto the full u64 range so the per-hit test is
   /// one integer compare against the raw splitmix64 output.
   uint64_t Threshold = 0;
+  /// Stall plan (see the header): probability on the same u64 mapping,
+  /// plus the sleep duration. Threshold 0 = stalls disarmed.
+  uint32_t StallMillis = 200;
+  uint64_t StallThreshold = 0;
 };
 
 uint64_t thresholdFor(double P) {
@@ -62,6 +68,10 @@ Config configFromEnv() {
   if (const char *L = std::getenv("GAIA_FAULT_PROBES"))
     C.ProbeMask = parseProbeList(L);
   C.Threshold = thresholdFor(C.Probability);
+  if (const char *P = std::getenv("GAIA_FAULT_STALL_P"))
+    C.StallThreshold = thresholdFor(std::strtod(P, nullptr));
+  if (const char *S = std::getenv("GAIA_FAULT_STALL_MS"))
+    C.StallMillis = static_cast<uint32_t>(std::strtoul(S, nullptr, 0));
   return C;
 }
 
@@ -89,6 +99,7 @@ struct ThreadStream {
 thread_local ThreadStream Stream;
 
 std::atomic<uint64_t> GlobalFires{0};
+std::atomic<uint64_t> GlobalStalls{0};
 
 } // namespace
 
@@ -100,13 +111,20 @@ void configure(double Probability, uint64_t Seed, uint32_t ProbeMask) {
   C.Threshold = thresholdFor(Probability);
 }
 
+void configureStall(double Probability, uint32_t Millis) {
+  Config &C = config();
+  C.StallThreshold = Millis == 0 ? 0 : thresholdFor(Probability);
+  C.StallMillis = Millis;
+}
+
 JobScope::JobScope(uint64_t Salt) : FiresAtEntry(Stream.Fires) {
   // Mix the salt through one splitmix64 round so adjacent job indices
   // land on uncorrelated streams.
   uint64_t S = config().Seed ^ (Salt * 0xd1342543de82ef95ull + 1);
   splitmix64(S);
   Stream.State = S;
-  Stream.Armed = config().Threshold != 0;
+  const Config &C = config();
+  Stream.Armed = C.Threshold != 0 || C.StallThreshold != 0;
 }
 
 JobScope::~JobScope() { Stream.Armed = false; }
@@ -144,7 +162,23 @@ void raise(Probe P) {
   throw InjectedFault("injected fault");
 }
 
+void maybeStall(Probe P) {
+  if (!Stream.Armed)
+    return;
+  const Config &C = config();
+  if (C.StallThreshold == 0 || !(C.ProbeMask & (1u << unsigned(P))))
+    return;
+  if (splitmix64(Stream.State) >= C.StallThreshold)
+    return;
+  GlobalStalls.fetch_add(1, std::memory_order_relaxed);
+  // Sleep blind: no cancellation poll, no deadline check. A worker wedged
+  // here is exactly what the service watchdog exists to recover from.
+  std::this_thread::sleep_for(std::chrono::milliseconds(C.StallMillis));
+}
+
 uint64_t totalFires() { return GlobalFires.load(std::memory_order_relaxed); }
+
+uint64_t totalStalls() { return GlobalStalls.load(std::memory_order_relaxed); }
 
 } // namespace gaia::faultinject
 

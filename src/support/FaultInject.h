@@ -24,11 +24,22 @@
 /// Code that runs outside a JobScope (warm-up, oracle runs) has a
 /// disarmed stream and never faults.
 ///
+/// Besides throwing faults, the harness can *stall*: sleep at a probe
+/// point for a configured wall-clock time without polling anything.
+/// This deliberately models the pathology cooperative cancellation
+/// cannot handle — a job wedged *between* poll points — and exists to
+/// exercise the AnalysisService watchdog's cancel → poison → replace
+/// escalation (a stall ignores CancelSignal by construction; only after
+/// it ends does the job reach its next poll and unwind). Stall decisions
+/// draw from the same per-job deterministic stream as faults.
+///
 /// Env knobs (read once, first use; configure() overrides for tests):
-///   GAIA_FAULT_P      fault probability per probe hit (default 0)
-///   GAIA_FAULT_SEED   global seed (default 1)
-///   GAIA_FAULT_PROBES comma list to arm: opcache,normalize,intern,alloc
-///                     (default: all)
+///   GAIA_FAULT_P        fault probability per probe hit (default 0)
+///   GAIA_FAULT_SEED     global seed (default 1)
+///   GAIA_FAULT_PROBES   comma list to arm: opcache,normalize,intern,alloc
+///                       (default: all)
+///   GAIA_FAULT_STALL_P  stall probability per probe hit (default 0)
+///   GAIA_FAULT_STALL_MS stall duration in milliseconds (default 200)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +72,10 @@ struct InjectedFault : std::runtime_error {
 /// ProbeMask bit i arms Probe(i); ~0u arms all.
 void configure(double Probability, uint64_t Seed, uint32_t ProbeMask = ~0u);
 
+/// Test override for the stall knobs. Probability <= 0 (or Millis == 0)
+/// disarms stalls; faults configured via configure() are independent.
+void configureStall(double Probability, uint32_t Millis);
+
 /// Arms the calling thread's fault stream for one job attempt. The
 /// stream is seeded from (global seed, Salt) so the fault pattern is a
 /// pure function of the job identity, not of which worker ran it.
@@ -86,11 +101,20 @@ bool shouldFire(Probe P);
 /// Throws InjectedFault (or std::bad_alloc for Probe::Alloc).
 [[noreturn]] void raise(Probe P);
 
+/// Stall body: sleeps the configured duration when the per-job stream
+/// says this hit stalls. Returns without polling any cancellation —
+/// that blindness is the scenario under test.
+void maybeStall(Probe P);
+
 /// Process-wide fire counter (all threads, all jobs); for soak stats.
 uint64_t totalFires();
 
+/// Process-wide stall counter.
+uint64_t totalStalls();
+
 #define GAIA_FAULT_POINT(P)                                                    \
   do {                                                                         \
+    ::gaia::faultinject::maybeStall(::gaia::faultinject::Probe::P);            \
     if (::gaia::faultinject::shouldFire(::gaia::faultinject::Probe::P))        \
       ::gaia::faultinject::raise(::gaia::faultinject::Probe::P);               \
   } while (0)

@@ -2,6 +2,7 @@
 
 #include "typegraph/Normalize.h"
 
+#include "support/Cancellation.h"
 #include "support/Debug.h"
 #include "support/FaultInject.h"
 #include "support/Hashing.h"
@@ -320,6 +321,11 @@ protected:
     // Refine until stable.
     std::vector<uint32_t> Next(States.size(), 0);
     while (true) {
+      // One refinement round touches every state; on a large automaton
+      // the rounds-until-stable tail is the other place a deadline can
+      // silently burn.
+      if (Opts.Cancel)
+        Opts.Cancel->poll();
       NextIds.clear();
       for (size_t I = 0; I != States.size(); ++I) {
         Sig.clear();
@@ -445,6 +451,12 @@ private:
     // to process": every state >= Cursor still needs its transitions.
     while (Cursor != States.size()) {
       uint32_t Id = Cursor++;
+      // The subset construction is the one normalization phase with no
+      // a-priori size bound (state count can be exponential in the input
+      // before a cap fires), so this is where a deadline-carrying job
+      // polls between the engine's per-round checkpoints.
+      if (Opts.Cancel && (Id & 63u) == 0)
+        Opts.Cancel->poll();
       computeTransitions(Id, [this](const NodeId *Roots, size_t N) {
         return stateFor(Roots, N);
       });
@@ -503,6 +515,10 @@ private:
     std::vector<NodeId> Key = KeyIn; // own it; the recursion below
                                      // clobbers the scratch buffer
     uint32_t Id = static_cast<uint32_t>(States.size());
+    // Same rationale as Determinizer::drainWorklist: state creation is
+    // the unbounded dimension of the collapsing construction.
+    if (Opts.Cancel && (Id & 63u) == 0)
+      Opts.Cancel->poll();
     States.emplace_back();
     StateKeys.push_back(Key);
     StateIds.emplace(std::move(Key), Id);

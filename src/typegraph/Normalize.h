@@ -35,6 +35,8 @@
 
 namespace gaia {
 
+class CancelSignal; // support/Cancellation.h
+
 /// Tuning knobs for normalization. OrCap = 0 means "unbounded" (the
 /// paper's default configuration); 5 and 2 reproduce Table 3's capped
 /// rows. MaxNodes is a defensive bound on unfolding: beyond it the
@@ -49,6 +51,17 @@ struct NormalizeOptions {
   /// contrasts the paper's widening against finite-subdomain approaches
   /// of this kind).
   uint32_t MaxDepth = 0;
+  /// Optional cooperative stop condition (support/Cancellation.h),
+  /// polled inside the subset-construction worklist and the minimizer's
+  /// refinement rounds. The engine's per-round checkpoints bound the
+  /// fixpoint loops, but one normalization of a blown-up graph can burn
+  /// an entire deadline between two such checkpoints — these are the
+  /// inner poll points that close that gap. Not part of the
+  /// normalization certificate: cancellation never changes a produced
+  /// result, it only decides whether one is produced. The pointee must
+  /// outlive every normalization run under these options (the analyzer
+  /// arms it per job; warm-up and ad-hoc callers leave it null).
+  const CancelSignal *Cancel = nullptr;
 };
 
 /// Reusable buffers for the normalization pipeline and the graph

@@ -78,6 +78,7 @@ TEST(FailureTaxonomy, KindNamesAreStable) {
   EXPECT_STREQ(failKindName(FailKind::Deadline), "deadline");
   EXPECT_STREQ(failKindName(FailKind::Cancelled), "cancelled");
   EXPECT_STREQ(failKindName(FailKind::Exception), "exception");
+  EXPECT_STREQ(failKindName(FailKind::Rejected), "rejected");
 }
 
 TEST(Cancellation, PreCancelledTokenUnwindsToStructuredResult) {
@@ -339,6 +340,94 @@ TEST(ResilienceLadder, ExhaustionFallsToTheFloorAndQuarantines) {
   AnalysisJob Fine{"fine", "q(b).\n", "q(any)"};
   EXPECT_FALSE(Mgr.isQuarantined(Fine));
   EXPECT_FALSE(Mgr.preCheck(Fine, Out, Rung));
+}
+
+/// The quarantine-TTL satellite: after QuarantineProbeAfter
+/// short-circuits, the next request probes through; a failed probe
+/// re-arms a full TTL window, a successful one releases the fingerprint.
+TEST(ResilienceLadder, QuarantineTTLProbesThroughAndReleases) {
+  ResilienceOptions RO;
+  RO.QuarantineThreshold = 1;
+  RO.QuarantineProbeAfter = 3;
+  ResilienceManager Mgr(RO);
+  AnalysisJob Job{"flaky", "p(a).\n", "p(any)"};
+  auto AlwaysFails = [](const AnalyzerOptions &, uint32_t) {
+    return deadlineFailure();
+  };
+
+  // Condemn the fingerprint (artificially — the job itself is healthy,
+  // exactly the transiently-quarantined shape the TTL exists for).
+  RecoveryRung Rung = RecoveryRung::None;
+  uint32_t Attempts = 1;
+  Mgr.recover(Job, {}, deadlineFailure(), AlwaysFails, Rung, Attempts);
+  ASSERT_TRUE(Mgr.isQuarantined(Job));
+
+  // TTL window: exactly QuarantineProbeAfter floor answers...
+  AnalysisResult Out;
+  bool Probe = true;
+  for (int I = 0; I != 3; ++I) {
+    EXPECT_TRUE(Mgr.preCheck(Job, Out, Rung, &Probe)) << "window " << I;
+    EXPECT_FALSE(Probe);
+  }
+  // ...then the next request probes through.
+  EXPECT_FALSE(Mgr.preCheck(Job, Out, Rung, &Probe));
+  EXPECT_TRUE(Probe);
+  EXPECT_EQ(Mgr.stats().QuarantineProbes, 1u);
+
+  // A failed probe re-arms a full TTL window.
+  Mgr.probeResult(Job, /*Restored=*/false);
+  EXPECT_TRUE(Mgr.isQuarantined(Job));
+  for (int I = 0; I != 3; ++I)
+    EXPECT_TRUE(Mgr.preCheck(Job, Out, Rung, &Probe)) << "window " << I;
+  EXPECT_FALSE(Mgr.preCheck(Job, Out, Rung, &Probe));
+  EXPECT_TRUE(Probe);
+
+  // A successful probe re-earns full service.
+  Mgr.probeResult(Job, /*Restored=*/true);
+  EXPECT_FALSE(Mgr.isQuarantined(Job));
+  EXPECT_FALSE(Mgr.preCheck(Job, Out, Rung, &Probe));
+  EXPECT_FALSE(Probe);
+  EXPECT_EQ(Mgr.stats().QuarantineReleases, 1u);
+}
+
+/// Same contract end-to-end through the shared containment runner: a
+/// healthy job condemned by transient noise probes through after the
+/// TTL and is restored to full (non-degraded) service.
+TEST(ResilienceLadder, ProbeThroughRestoresFullServiceEndToEnd) {
+  ResilienceOptions RO;
+  RO.QuarantineThreshold = 1;
+  RO.QuarantineProbeAfter = 2;
+  auto Mgr = std::make_shared<ResilienceManager>(RO);
+  const BenchmarkProgram *QU = findBenchmark("QU");
+  AnalysisJob Job{"QU", QU->Source, QU->GoalSpec};
+  auto AlwaysFails = [](const AnalyzerOptions &, uint32_t) {
+    return deadlineFailure();
+  };
+  RecoveryRung Rung = RecoveryRung::None;
+  uint32_t Attempts = 1;
+  Mgr->recover(Job, {}, deadlineFailure(), AlwaysFails, Rung, Attempts);
+  ASSERT_TRUE(Mgr->isQuarantined(Job));
+
+  // Two requests answered from the floor without running anything.
+  for (int I = 0; I != 2; ++I) {
+    JobOutcome O = runContainedJob(Job, {}, Mgr.get(), 0);
+    EXPECT_EQ(O.Rung, RecoveryRung::Quarantined);
+    EXPECT_TRUE(O.Result.Degraded);
+    EXPECT_EQ(O.Attempts, 0u);
+  }
+  // The third probes through, succeeds cleanly, and lifts the verdict.
+  JobOutcome P = runContainedJob(Job, {}, Mgr.get(), 0);
+  EXPECT_EQ(P.Rung, RecoveryRung::None);
+  EXPECT_TRUE(P.Result.Ok);
+  EXPECT_FALSE(P.Result.Degraded);
+  EXPECT_FALSE(Mgr->isQuarantined(Job));
+  EXPECT_EQ(Mgr->stats().QuarantineReleases, 1u);
+
+  // Restored means restored: the next request takes the normal path.
+  JobOutcome N = runContainedJob(Job, {}, Mgr.get(), 0);
+  EXPECT_TRUE(N.Result.Ok);
+  EXPECT_EQ(N.Rung, RecoveryRung::None);
+  EXPECT_EQ(Mgr->stats().QuarantineShortCircuits, 2u);
 }
 
 /// End-to-end: a pool with deadline-doomed jobs and a ladder ends the

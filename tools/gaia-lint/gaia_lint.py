@@ -49,6 +49,20 @@ over the real sources:
                            the process at the noexcept boundary or takes
                            all in-flight jobs down with it. Failures must
                            be returned as structured AnalysisResults.
+  no-detached-thread       .detach() calls and never-joined std::thread
+                           data members in the serving runtime: a
+                           detached thread outlives every owner that
+                           could observe it (shutdown races, use-after-
+                           free of captured state), and a thread member
+                           nobody joins is a detach spelled differently
+                           (std::terminate at destruction, or a leak via
+                           suppressed destructors). Threads must be
+                           joined on a drain/shutdown path; the one
+                           argued exception is the AnalysisService
+                           watchdog's poisoned-slot replacement, where
+                           joining would block the watchdog on the very
+                           thread it is declaring stuck (suppressed with
+                           that justification).
 
 plus two meta-rules over the suppression file itself:
 
@@ -781,6 +795,78 @@ def check_worker_noexcept(file, toks, findings):
                     "must be contained as structured AnalysisResults"))
 
 
+def check_detach_calls(file, toks, findings):
+    """Member calls of .detach() / ->detach() in the serving runtime."""
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != "detach":
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        prev_dot = i >= 1 and toks[i - 1].text == "."
+        prev_arrow = (i >= 2 and toks[i - 1].text == ">"
+                      and toks[i - 2].text == "-")
+        if prev_dot or prev_arrow:
+            findings.append(Finding(
+                "no-detached-thread", file, t.line, "detach",
+                "detach() in the serving runtime: a detached thread "
+                "outlives every owner that could observe it (shutdown "
+                "races, use-after-free of captured state); join on a "
+                "drain/shutdown path instead, or argue the exception in "
+                "the suppressions file"))
+
+
+def class_thread_members(classes):
+    """(class, member-name, line) for every std::thread (or
+    container-of-std::thread) data member."""
+    out = []
+    for c in classes:
+        for m in c.members:
+            if is_function_member(m) or is_using_or_friend(m) or is_static(m):
+                continue
+            txts = member_texts(m)
+            if "thread" not in txts:
+                continue
+            name = None
+            for t in reversed(m.toks):
+                if t.kind == "id":
+                    name = t.text
+                    break
+            if name and name != "thread":
+                out.append((c, name, m.line))
+    return out
+
+
+def check_unjoined_thread_members(worker_files, toks_by_file, classes_by_file,
+                                  findings):
+    """A std::thread data member in the serving runtime must be joined
+    somewhere: in the declaring file or in its same-stem .cpp/.h
+    counterpart (headers declare, the TU drains). A member nobody joins
+    is a detach spelled differently — std::terminate at destruction, or
+    a leak behind a suppressed destructor."""
+    def counterpart(f):
+        base, ext = os.path.splitext(f)
+        if ext in (".h", ".hpp"):
+            return base + ".cpp"
+        return base + ".h"
+
+    def has_join(f):
+        return f in toks_by_file and any(
+            t.kind == "id" and t.text == "join" for t in toks_by_file[f])
+
+    for f in worker_files:
+        for c, name, line in class_thread_members(classes_by_file[f]):
+            if has_join(f) or has_join(counterpart(f)):
+                continue
+            findings.append(Finding(
+                "no-detached-thread", f, line, name,
+                f"{c.name}::{name} is a std::thread member that is never "
+                "joined in this file or its header/source counterpart; an "
+                "un-joined thread member is a detach spelled differently "
+                "(std::terminate at destruction) — join it on the "
+                "drain/shutdown path"))
+
+
 def check_banned_tokens(file, toks, findings):
     i = 0
     n = len(toks)
@@ -930,6 +1016,10 @@ def lint_files(files, hot_paths, reloc_paths, worker_paths):
             check_relocation_remap(f, toks, findings)
         if in_hot_path(f, worker_paths):
             check_worker_noexcept(f, toks, findings)
+            check_detach_calls(f, toks, findings)
+    worker_files = [f for f in files if in_hot_path(f, worker_paths)]
+    check_unjoined_thread_members(worker_files, toks_by_file,
+                                  classes_by_file, findings)
     return findings
 
 

@@ -3,10 +3,25 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace gaia {
+
+// Thread member done right: joined on the shutdown path in the same
+// file (no-detached-thread stays quiet).
+class Reaper {
+public:
+  void start() { Loop = std::thread([] {}); }
+  void stop() {
+    if (Loop.joinable())
+      Loop.join();
+  }
+
+private:
+  std::thread Loop;
+};
 
 // Frozen tier done right: const/atomic fields, const methods only.
 struct FrozenOkTier {

@@ -1,0 +1,33 @@
+// Fixture: seeds [no-detached-thread] violations.
+// Expect: a finding on the detach() call, and one each on the Pump and
+// Crew members (std::thread members nobody joins — note there is no
+// join() anywhere in this file, and no counterpart file exists). The
+// start() method itself must not be flagged. The *allowed* shape — a
+// thread member joined in its declaring file — lives in clean_ok.cpp.
+
+#include <thread>
+#include <vector>
+
+namespace gaia {
+
+// BAD: fire-and-forget. The thread outlives every owner that could
+// observe it finish; anything it captured can dangle at shutdown.
+inline void fireAndForget() {
+  std::thread([] {}).detach();
+}
+
+// BAD: Pump and Crew are thread members with no join on any path; their
+// destructor is one early return away from std::terminate.
+class Pumper {
+public:
+  void start() {
+    Pump = std::thread([] {});
+    Crew.emplace_back([] {});
+  }
+
+private:
+  std::thread Pump;
+  std::vector<std::thread> Crew;
+};
+
+} // namespace gaia

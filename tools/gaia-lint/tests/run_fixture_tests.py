@@ -52,6 +52,12 @@ CASES = {
         [("worker-noexcept", "throw"), ("worker-noexcept", "abort")],
         ["exit", "runJobContained"],
     ),
+    "no_detached_thread_bad.cpp": (
+        [("no-detached-thread", "detach"),
+         ("no-detached-thread", "Pump"),
+         ("no-detached-thread", "Crew")],
+        ["start", "fireAndForget"],
+    ),
 }
 
 
