@@ -1,0 +1,273 @@
+//===- bench/parallel_solve.cpp - SCC-scheduled parallel fixpoint ---------==//
+///
+/// \file
+/// Measures the parallel solve mode inside a *single* analysis
+/// (AnalyzerOptions::SolverThreads, gaia/SccScheduler.h): wall-clock
+/// latency at 1/2/4/8 solver threads on the largest Section 9 programs
+/// (largest by sequential solve time), the resulting speedup curve, and
+/// — the part that gates — semantic-fingerprint identity between every
+/// parallel run and the sequential oracle on *all* Section 9 programs.
+/// Also reports the memo-table reserve satellite's allocation A/B:
+/// allocations per analysis with the call-cone reserve
+/// (AnalyzerOptions::ReserveFromCallCone) on vs off, via a counting
+/// global operator new.
+///
+/// Writes machine-readable BENCH_parallel.json (override the path with
+/// BENCH_PARALLEL_JSON; empty string skips the file) for
+/// bench/check_bench_regression.py --parallel. Identity gates
+/// unconditionally; the 4-thread speedup floor is tiered by
+/// hardware_concurrency like the throughput gate (1.5x with >= 8
+/// hardware threads, 1.2x with 4-7, identity-only below 4 — speculative
+/// workers cannot beat the oracle without cores to run on).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Report.h"
+#include "programs/Benchmarks.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gaia;
+
+// Counting allocator hooks for the reserve A/B (same technique as
+// bench/normalize_hot.cpp). Parallel runs allocate on worker threads
+// too; the counter is only read around *sequential* runs, so a plain
+// (racy-under-threads) counter would still be wrong to reuse there —
+// keep it relaxed-atomic and cheap.
+static std::atomic<uint64_t> GAllocs{0};
+
+void *operator new(std::size_t Size) {
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+struct ThreadRun {
+  uint32_t Threads = 0;
+  double Seconds = 0;
+  double Speedup = 1.0;
+  bool Identical = true;
+  uint32_t SccCount = 0;
+  uint32_t SccParallelism = 0;
+  uint64_t FallbackSolves = 0;
+};
+
+struct ProgramRuns {
+  std::string Key;
+  std::vector<ThreadRun> Runs;
+};
+
+double now() {
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - Epoch).count();
+}
+
+AnalysisResult timedRun(const BenchmarkProgram &B, uint32_t Threads,
+                        unsigned Repeats, double &BestSeconds) {
+  AnalyzerOptions O;
+  O.SolverThreads = Threads;
+  AnalysisResult Result;
+  BestSeconds = 1e300;
+  for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+    double T0 = now();
+    AnalysisResult R = analyzeProgram(B.Source, B.GoalSpec, O);
+    double T = now() - T0;
+    if (R.Ok && T < BestSeconds) {
+      BestSeconds = T;
+      Result = std::move(R);
+    } else if (!R.Ok) {
+      return R;
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  unsigned Hardware = std::thread::hardware_concurrency();
+  unsigned Repeats = 3;
+  if (const char *E = std::getenv("BENCH_PARALLEL_REPEAT"))
+    Repeats = std::max(1u, static_cast<unsigned>(std::strtoul(E, nullptr, 10)));
+
+  const std::vector<BenchmarkProgram> &Suite = table123Suite();
+  std::printf("=== SCC-scheduled parallel solve ===\n");
+  std::printf("hardware threads: %u, repeats: %u\n\n", Hardware, Repeats);
+
+  // Sequential oracles for every program; also picks the latency-curve
+  // subjects (the three largest by sequential solve time).
+  struct OracleRow {
+    const BenchmarkProgram *B = nullptr;
+    std::string Fingerprint;
+    double Seconds = 0;
+  };
+  std::vector<OracleRow> Oracles;
+  for (const BenchmarkProgram &B : Suite) {
+    double Best = 0;
+    AnalysisResult R = timedRun(B, 1, Repeats, Best);
+    if (!R.Ok) {
+      std::fprintf(stderr, "error: oracle %s: %s\n", B.Key.c_str(),
+                   R.Error.c_str());
+      return 1;
+    }
+    Oracles.push_back({&B, analysisSemanticFingerprint(R), Best});
+  }
+
+  // Identity sweep: every program, 2 and 4 solver threads.
+  bool IdenticalAll = true;
+  for (const OracleRow &O : Oracles) {
+    for (uint32_t Threads : {2u, 4u}) {
+      double Best = 0;
+      AnalysisResult R = timedRun(*O.B, Threads, 1, Best);
+      bool Same = R.Ok && analysisSemanticFingerprint(R) == O.Fingerprint;
+      if (!Same) {
+        IdenticalAll = false;
+        std::fprintf(stderr,
+                     "FAIL: %s at SolverThreads=%u diverges from the "
+                     "sequential oracle\n",
+                     O.B->Key.c_str(), Threads);
+      }
+    }
+  }
+  std::printf("identity sweep (all programs, 2/4 threads): %s\n\n",
+              IdenticalAll ? "identical" : "DIVERGED");
+
+  // Latency curve on the three largest programs.
+  std::vector<const OracleRow *> Largest;
+  for (const OracleRow &O : Oracles)
+    Largest.push_back(&O);
+  std::sort(Largest.begin(), Largest.end(),
+            [](const OracleRow *A, const OracleRow *B) {
+              return A->Seconds > B->Seconds;
+            });
+  if (Largest.size() > 3)
+    Largest.resize(3);
+
+  std::vector<ProgramRuns> Curve;
+  double Speedup4OnLargest = 1.0;
+  std::string LargestKey = Largest.empty() ? "" : Largest[0]->B->Key;
+  std::printf("program  threads  wall(s)    speedup  sccs  par  fallback  "
+              "identical\n");
+  for (const OracleRow *O : Largest) {
+    ProgramRuns PR;
+    PR.Key = O->B->Key;
+    for (uint32_t Threads : {1u, 2u, 4u, 8u}) {
+      double Best = 0;
+      AnalysisResult R = timedRun(*O->B, Threads, Repeats, Best);
+      ThreadRun TR;
+      TR.Threads = Threads;
+      TR.Seconds = Best;
+      TR.Identical =
+          R.Ok && analysisSemanticFingerprint(R) == O->Fingerprint;
+      if (!TR.Identical)
+        IdenticalAll = false;
+      TR.Speedup = Best > 0 ? PR.Runs.empty() ? 1.0
+                                              : PR.Runs.front().Seconds / Best
+                            : 1.0;
+      TR.SccCount = R.Stats.SccCount;
+      TR.SccParallelism = R.Stats.SccParallelism;
+      TR.FallbackSolves = R.Stats.SccFallbackSolves;
+      std::printf("%-8s %7u  %9.4f  %7.2f  %4u  %3u  %8llu  %s\n",
+                  PR.Key.c_str(), Threads, TR.Seconds, TR.Speedup,
+                  TR.SccCount, TR.SccParallelism,
+                  static_cast<unsigned long long>(TR.FallbackSolves),
+                  TR.Identical ? "yes" : "NO");
+      if (Threads == 4 && O == Largest[0])
+        Speedup4OnLargest = TR.Speedup;
+      PR.Runs.push_back(TR);
+    }
+    Curve.push_back(std::move(PR));
+  }
+
+  // Reserve A/B: allocations per sequential analysis with the
+  // call-cone reserve on vs off, summed over the whole suite.
+  auto CountAllocs = [&](bool Reserve) -> uint64_t {
+    AnalyzerOptions O;
+    O.ReserveFromCallCone = Reserve;
+    uint64_t Start = GAllocs.load(std::memory_order_relaxed);
+    for (const BenchmarkProgram &B : Suite) {
+      AnalysisResult R = analyzeProgram(B.Source, B.GoalSpec, O);
+      if (!R.Ok) {
+        std::fprintf(stderr, "error: %s: %s\n", B.Key.c_str(),
+                     R.Error.c_str());
+        std::exit(1);
+      }
+    }
+    return GAllocs.load(std::memory_order_relaxed) - Start;
+  };
+  uint64_t AllocsReserve = CountAllocs(true);
+  uint64_t AllocsNoReserve = CountAllocs(false);
+  std::printf("\nmemo-table reserve A/B (suite total allocations): "
+              "reserve=%llu  no-reserve=%llu  (saved %lld)\n",
+              static_cast<unsigned long long>(AllocsReserve),
+              static_cast<unsigned long long>(AllocsNoReserve),
+              static_cast<long long>(AllocsNoReserve) -
+                  static_cast<long long>(AllocsReserve));
+
+  std::printf("\nlargest program: %s, 4-thread speedup: %.2fx\n",
+              LargestKey.c_str(), Speedup4OnLargest);
+
+  const char *JsonPath = std::getenv("BENCH_PARALLEL_JSON");
+  if (!JsonPath)
+    JsonPath = "BENCH_parallel.json";
+  if (JsonPath[0] != '\0') {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(F, "{\n");
+    std::fprintf(F, "  \"bench\": \"parallel_solve\",\n");
+    std::fprintf(F, "  \"hardware_concurrency\": %u,\n", Hardware);
+    std::fprintf(F, "  \"identical_all\": %s,\n",
+                 IdenticalAll ? "true" : "false");
+    std::fprintf(F, "  \"largest_key\": \"%s\",\n", LargestKey.c_str());
+    std::fprintf(F, "  \"speedup_4t_largest\": %.4f,\n", Speedup4OnLargest);
+    std::fprintf(F, "  \"allocs_reserve\": %llu,\n",
+                 static_cast<unsigned long long>(AllocsReserve));
+    std::fprintf(F, "  \"allocs_noreserve\": %llu,\n",
+                 static_cast<unsigned long long>(AllocsNoReserve));
+    std::fprintf(F, "  \"programs\": [\n");
+    for (size_t I = 0; I != Curve.size(); ++I) {
+      const ProgramRuns &PR = Curve[I];
+      std::fprintf(F, "    {\"key\": \"%s\", \"runs\": [\n", PR.Key.c_str());
+      for (size_t J = 0; J != PR.Runs.size(); ++J) {
+        const ThreadRun &TR = PR.Runs[J];
+        std::fprintf(
+            F,
+            "      {\"threads\": %u, \"seconds\": %.6f, \"speedup\": %.4f, "
+            "\"identical\": %s, \"scc_count\": %u, \"scc_parallelism\": %u, "
+            "\"fallback_solves\": %llu}%s\n",
+            TR.Threads, TR.Seconds, TR.Speedup,
+            TR.Identical ? "true" : "false", TR.SccCount, TR.SccParallelism,
+            static_cast<unsigned long long>(TR.FallbackSolves),
+            J + 1 == PR.Runs.size() ? "" : ",");
+      }
+      std::fprintf(F, "    ]}%s\n", I + 1 == Curve.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n");
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath);
+  }
+
+  return IdenticalAll ? 0 : 1;
+}

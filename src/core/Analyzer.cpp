@@ -4,6 +4,7 @@
 
 #include "domains/PFLeaf.h"
 #include "domains/TypeLeaf.h"
+#include "gaia/SccScheduler.h"
 #include "runtime/SharedCache.h"
 #include "typegraph/GrammarParser.h"
 
@@ -52,7 +53,8 @@ template <typename Leaf>
 void runWithLeaf(AnalysisResult &R, const typename Leaf::Context &C,
                  SymbolTable &Syms, const Program &Prog,
                  const NProgram &NProg, const InputPattern &Pattern,
-                 const EngineOptions &EngOpts) {
+                 const EngineOptions &EngOpts,
+                 EngineHints<Leaf> *Hints = nullptr) {
   FunctorId Entry = Syms.functor(Pattern.PredName, Pattern.arity());
   if (!Prog.defines(Entry)) {
     R.Error = "goal predicate " + Syms.functorString(Entry) +
@@ -62,6 +64,8 @@ void runWithLeaf(AnalysisResult &R, const typename Leaf::Context &C,
   }
 
   Engine<Leaf> Eng(NProg, C, EngOpts);
+  if (Hints)
+    Eng.setHints(Hints);
   PatSub<Leaf> In = makeInputSub<Leaf>(C, Pattern, Syms);
   PatSub<Leaf> Out = Eng.solve(Entry, In);
   R.Stats = Eng.stats();
@@ -141,8 +145,13 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
     R.UnknownPredicates.push_back(Syms.functorString(Fn));
 
   FunctorId Entry = Syms.functor(Pattern->PredName, Pattern->arity());
-  R.Sizes = computeSizeMetrics(*Prog, NProg, Syms, Entry);
+  // One call graph serves three clients: the Table 1 metrics, the
+  // engine's memo-table reserve, and the parallel scheduler's SCC
+  // condensation.
+  CallGraph CG(*Prog, Syms);
+  R.Sizes = computeSizeMetrics(*Prog, NProg, Syms, Entry, CG);
   R.Recursion = classifyRecursion(*Prog, Syms);
+  std::vector<FunctorId> Cone = CG.reachableFrom(Entry);
 
   // The job's combined stop condition: the deadline clock starts here
   // (analysis proper — parse errors above return before arming), the
@@ -164,6 +173,12 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
   EngOpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
   if (Signal.armed())
     EngOpts.Cancel = &Signal;
+  if (Opts.ReserveFromCallCone && !Cone.empty()) {
+    // The cone predicts distinct predicates, not entries; polyvariance
+    // adds input patterns per predicate, so leave headroom. A wrong
+    // estimate only costs memory or a rehash, never a result.
+    EngOpts.ExpectedEntries = Cone.size() * 2 + 16;
+  }
   try {
     if (Opts.Domain == DomainKind::TypeGraphs) {
       NormalizeOptions Norm;
@@ -207,7 +222,37 @@ AnalysisResult analyzeImpl(std::shared_ptr<SymbolTable> SymsPtr,
             std::make_shared<TypeLeaf::Constants>(Shared->leafConstants());
         C.Shared = Opts.Shared;
       }
-      runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts);
+      // SCC-scheduled parallel mode: only for per-run caches (a warm
+      // external cache is mutated by its owner between calls, which the
+      // workers' frozen-tier layering cannot see) and defined entries.
+      // Constructed after the Context so its Env copies the pre-primed
+      // constants; destroyed (joining its workers) on any unwind.
+      std::optional<SccSpeculation> Spec;
+      if (Opts.SolverThreads > 1 && Owned && Prog->defines(Entry)) {
+        SccSpeculation::Env WEnv;
+        WEnv.Norm = Norm;
+        WEnv.Norm.Cancel = nullptr; // workers arm their own signals
+        WEnv.Widen = Widen;
+        WEnv.Widen.Cancel = nullptr;
+        WEnv.Widen.Database = nullptr; // workers re-point at their copies
+        WEnv.Database = Database;
+        WEnv.ConstProto = *C.Consts;
+        WEnv.SharedOps = Shared ? Shared->ops() : nullptr;
+        WEnv.SharedAnchor = Opts.Shared;
+        SccSolveOptions SOpts;
+        SOpts.SolverThreads = Opts.SolverThreads;
+        SOpts.MaxConeDepth = Opts.SolverConeDepth;
+        Spec.emplace(NProg, CG, Syms, Entry, EngOpts, C, *Owned, Syms,
+                     std::move(WEnv), SOpts);
+      }
+      runWithLeaf<TypeLeaf>(R, C, Syms, *Prog, NProg, *Pattern, EngOpts,
+                            Spec ? &*Spec : nullptr);
+      if (Spec) {
+        SccSolveStats SS = Spec->finish();
+        R.Stats.SccCount = SS.SccCount;
+        R.Stats.SccParallelism = SS.SccParallelism;
+        R.Stats.SccFallbackSolves = SS.SccFallbackSolves;
+      }
       if (Ops) {
         R.Stats.OpCacheHits = Ops->stats().Hits;
         R.Stats.OpCacheMisses = Ops->stats().Misses;

@@ -1,0 +1,303 @@
+//===- gaia/SccScheduler.cpp ------------------------------------------------=//
+
+#include "gaia/SccScheduler.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gaia;
+
+SccSpeculation::SccSpeculation(const NProgram &NProg, const CallGraph &CG,
+                               const SymbolTable &Snapshot, FunctorId Entry,
+                               const EngineOptions &EngOpts,
+                               const TypeLeaf::Context &ParentCtx,
+                               OpCache &ParentOps, SymbolTable &ParentSyms,
+                               Env WorkerEnv, const SccSolveOptions &Opts)
+    : NProg(NProg), Snapshot(Snapshot), WorkerEngOpts(EngOpts),
+      WEnv(std::move(WorkerEnv)), ParentCtx(ParentCtx), ParentOps(ParentOps),
+      ParentSyms(ParentSyms) {
+  // Workers must not observe the parent's cancellation plumbing: each
+  // task arms its own signal on the scheduler's stop token, and the
+  // parent's deadline reaches them through stopWorkers() on unwind.
+  WorkerEngOpts.Cancel = nullptr;
+  SnapSymbols = Snapshot.numSymbols();
+  SnapFunctors = Snapshot.numFunctors();
+
+  Cone = CG.reachableFrom(Entry, Opts.MaxConeDepth);
+  ConeSet.insert(Cone.begin(), Cone.end());
+  if (Opts.SolverThreads <= 1 || Cone.empty())
+    return;
+
+  // Condensation filtered to the cone: one task per component whose
+  // members all lie inside it. With a truncated cone (the escape-hatch
+  // test hook) a component can straddle the boundary; such components
+  // are not speculated — their callers' ready counts must count only
+  // in-cone callee tasks, or dispatch would stall forever waiting on
+  // components that never run.
+  Condensation Cond = CG.condense();
+  std::vector<uint32_t> TaskOf(Cond.Sccs.size(), ~0u);
+  for (uint32_t I = 0; I != Cond.Sccs.size(); ++I) {
+    bool InCone = !Cond.Sccs[I].empty();
+    for (FunctorId P : Cond.Sccs[I])
+      InCone = InCone && ConeSet.count(P) != 0;
+    if (!InCone)
+      continue;
+    TaskOf[I] = static_cast<uint32_t>(Tasks.size());
+    Task T;
+    T.Scc = I;
+    for (FunctorId P : Cond.Sccs[I])
+      T.Members.emplace_back(P, Snapshot.functorArity(P));
+    Tasks.push_back(std::move(T));
+  }
+  Stats.SccCount = static_cast<uint32_t>(Tasks.size());
+  if (Tasks.empty())
+    return;
+
+  // Per-task publication ranks: one slot per member, in (task, member)
+  // order, so the parent's drains absorb deltas deterministically no
+  // matter which worker finished first.
+  uint64_t Seq = 0;
+  for (Task &T : Tasks) {
+    T.SeqBase = Seq;
+    Seq += T.Members.size();
+  }
+
+  Pending.assign(Tasks.size(), 0);
+  TaskCallers.assign(Tasks.size(), {});
+  for (uint32_t I = 0; I != Cond.Sccs.size(); ++I) {
+    if (TaskOf[I] == ~0u)
+      continue;
+    for (uint32_t J : Cond.CalleeSccs[I]) {
+      if (TaskOf[J] == ~0u)
+        continue;
+      ++Pending[TaskOf[I]];
+      TaskCallers[TaskOf[J]].push_back(TaskOf[I]);
+    }
+  }
+  for (uint32_t I = 0; I != Tasks.size(); ++I)
+    if (Pending[I] == 0)
+      Ready.push_back(I);
+
+  StopTok = std::make_shared<CancelToken>();
+  uint32_t Workers = std::min<uint32_t>(Opts.SolverThreads - 1,
+                                        static_cast<uint32_t>(Tasks.size()));
+  Threads.reserve(Workers);
+  for (uint32_t I = 0; I != Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+SccSpeculation::~SccSpeculation() { stopWorkers(); }
+
+void SccSpeculation::stopWorkers() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+  }
+  if (StopTok)
+    StopTok->cancel();
+  ReadyCV.notify_all();
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Threads.clear();
+}
+
+void SccSpeculation::workerLoop() {
+  for (;;) {
+    uint32_t TaskIdx;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      ReadyCV.wait(L, [this] { return Stopping || !Ready.empty(); });
+      if (Stopping)
+        return;
+      // Claim the lowest ready index: a deterministic *preference*
+      // (completion order still depends on timing; result determinism
+      // comes from the Seq-sorted drain, not from here).
+      auto It = std::min_element(Ready.begin(), Ready.end());
+      TaskIdx = *It;
+      Ready.erase(It);
+    }
+
+    uint32_t NowBusy = Busy.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint32_t Peak = PeakBusy.load(std::memory_order_relaxed);
+    while (NowBusy > Peak &&
+           !PeakBusy.compare_exchange_weak(Peak, NowBusy,
+                                           std::memory_order_relaxed))
+      ;
+
+    CancelSignal Stop;
+    Stop.armToken(StopTok);
+    try {
+      runTask(Tasks[TaskIdx], Stop);
+    } catch (const CancelledError &) {
+      // Shutdown raced the task; its results are simply never published.
+    } catch (...) {
+      // Speculation is advisory: a failed task only costs its hints.
+    }
+    Busy.fetch_sub(1, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      for (uint32_t Caller : TaskCallers[TaskIdx]) {
+        assert(Pending[Caller] != 0 && "ready-count underflow");
+        if (--Pending[Caller] == 0)
+          Ready.push_back(Caller);
+      }
+    }
+    ReadyCV.notify_all();
+  }
+}
+
+void SccSpeculation::runTask(const Task &T, const CancelSignal &Stop) {
+  for (size_t MemberIdx = 0; MemberIdx != T.Members.size(); ++MemberIdx) {
+    Stop.poll();
+    auto [Pred, Arity] = T.Members[MemberIdx];
+
+    // A fully private analysis universe per member: its own symbol
+    // table, cache over the shared frozen tier, constants, and database
+    // copies (TypeGraph's lazy derived caches are per-value, so copies
+    // made here fill privately; the shared node storage is only ever
+    // const-read).
+    SymbolTable WSyms = Snapshot;
+    NormalizeOptions WNorm = WEnv.Norm;
+    WNorm.Cancel = &Stop;
+    std::vector<TypeGraph> WDatabase = WEnv.Database;
+    WideningOptions WWiden = WEnv.Widen;
+    WWiden.Norm = WNorm;
+    WWiden.Database = WDatabase.empty() ? nullptr : &WDatabase;
+    WWiden.Cancel = &Stop;
+    OpCache WOps(WSyms, WNorm, WEnv.SharedOps);
+    WideningStats WS;
+    TypeLeaf::Context WC{WSyms,
+                         WNorm,
+                         WWiden,
+                         &WS,
+                         &WOps,
+                         std::make_shared<TypeLeaf::Constants>(WEnv.ConstProto),
+                         WEnv.SharedAnchor};
+    EngineOptions EO = WorkerEngOpts;
+    EO.Cancel = &Stop;
+
+    Engine<TypeLeaf> Eng(NProg, WC, EO);
+    PatSub<TypeLeaf> In = PatSub<TypeLeaf>::top(WC, Arity);
+    Eng.solve(Pred, In);
+
+    // The pack is adoptable only if the solve converged (an aborted
+    // fixpoint's top outputs are sound but not what the parent would
+    // compute) and the worker interned nothing new (functor ids in the
+    // carried graphs are then the parent's ids verbatim). The delta
+    // needs neither guard: absorbDelta relocates by (name, arity).
+    std::shared_ptr<Pack> P = std::make_shared<Pack>();
+    P->Root = Pred;
+    P->Converged = Eng.stats().FixpointAborts == 0;
+    P->SymsStable = WSyms.numSymbols() == SnapSymbols &&
+                    WSyms.numFunctors() == SnapFunctors;
+    std::unordered_set<FunctorId> Touched;
+    for (auto &Tup : Eng.tuples()) {
+      if (Touched.insert(Tup.Pred).second)
+        P->Touched.push_back(Tup.Pred);
+      P->Entries.push_back(
+          PackEntry{Tup.Pred, std::move(Tup.In), std::move(Tup.Out)});
+    }
+    assert(!P->Entries.empty() && P->Entries.front().Pred == Pred &&
+           "pack must list the solved root first");
+
+    std::shared_ptr<const CacheDelta> Delta = WOps.harvestDelta(0);
+    bool Publishable = P->Converged && P->SymsStable;
+    {
+      std::lock_guard<std::mutex> L(PubMu);
+      PubQueue.push_back(Published{T.SeqBase + MemberIdx,
+                                   Publishable ? std::move(P) : nullptr,
+                                   std::move(Delta)});
+      HasPub.store(true, std::memory_order_release);
+    }
+    if (Publishable)
+      PacksPublishedCount.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SccSpeculation::drainPublished() {
+  if (!HasPub.load(std::memory_order_acquire))
+    return;
+  std::vector<Published> Batch;
+  {
+    std::lock_guard<std::mutex> L(PubMu);
+    Batch.swap(PubQueue);
+    HasPub.store(false, std::memory_order_relaxed);
+  }
+  // Ownership of every queued pack and delta has now transferred to the
+  // parent thread — workers hold no references to them. Deterministic
+  // absorb order regardless of worker completion timing:
+  std::sort(Batch.begin(), Batch.end(),
+            [](const Published &A, const Published &B) { return A.Seq < B.Seq; });
+  for (Published &Pub : Batch) {
+    if (Pub.Delta) {
+      ParentOps.absorbDelta(ParentSyms, *Pub.Delta);
+      ++Stats.DeltasAbsorbed;
+    }
+    if (Pub.P)
+      PackStore[Pub.P->Root] = std::move(Pub.P);
+  }
+}
+
+void SccSpeculation::atCheckpoint() { drainPublished(); }
+
+bool SccSpeculation::tryAdopt(FunctorId Pred, const PatSub<TypeLeaf> &In,
+                              const std::function<bool(FunctorId)> &Fresh,
+                              std::vector<PackEntry> &Out) {
+  drainPublished();
+  auto It = PackStore.find(Pred);
+  if (It == PackStore.end())
+    return false;
+  const Pack &P = *It->second;
+  // Replay-equivalence guard. Freshness of every touched predicate
+  // (including the root — ByPred-empty subsumes the on-stack check,
+  // since stacked entries live in ByPred) guarantees the pack's solve
+  // saw exactly the memo-table evolution the parent's compute would
+  // produce: same entries, same creation order, same polyvariance-cap
+  // anchors. If any predicate already has entries the replay diverges,
+  // and it never becomes fresh again — drop the pack.
+  for (FunctorId Q : P.Touched)
+    if (!Fresh(Q)) {
+      PackStore.erase(It);
+      return false;
+    }
+  // Input match is checked in the *parent's* context: the pack's graphs
+  // carry stale worker intern ids, which the parent cache's epoch check
+  // ignores. A mismatch keeps the pack — a later demand of the same
+  // predicate may still match (and if the mismatching demand created an
+  // entry, the freshness guard retires the pack next time).
+  if (!PatSub<TypeLeaf>::equal(ParentCtx, P.Entries.front().In, In))
+    return false;
+  Out = P.Entries;
+  PackStore.erase(It);
+  ++Stats.PacksAdopted;
+  Stats.EntriesAdopted += Out.size();
+  return true;
+}
+
+void SccSpeculation::noteInlineEntry(FunctorId Pred) {
+  if (!ConeSet.count(Pred))
+    ++Stats.SccFallbackSolves;
+}
+
+SccSolveStats SccSpeculation::finish() {
+  if (!Finished) {
+    stopWorkers();
+    // Late publications are discarded, not absorbed: the parent's cache
+    // should leave the solve in the same state a checkpoint-driven run
+    // left it, and post-solve hints can no longer help anyone.
+    {
+      std::lock_guard<std::mutex> L(PubMu);
+      PubQueue.clear();
+      HasPub.store(false, std::memory_order_relaxed);
+    }
+    PackStore.clear();
+    Stats.SccParallelism = PeakBusy.load(std::memory_order_relaxed);
+    Stats.PacksPublished = PacksPublishedCount.load(std::memory_order_relaxed);
+    Finished = true;
+  }
+  return Stats;
+}

@@ -1,0 +1,212 @@
+//===- gaia/SccScheduler.h - SCC-scheduled intra-analysis parallelism -----==//
+///
+/// \file
+/// Multi-threaded solving inside a *single* analysis run. The parent
+/// thread runs the unmodified sequential fixpoint (gaia/Engine.h) — it
+/// stays the bit-identity oracle — while a small worker set solves the
+/// strongly-connected components of the entry's static call cone
+/// speculatively, bottom-up in the SCC condensation's reverse
+/// topological order (a component is dispatched only when every
+/// component it calls has stabilized — ready-count scheduling over
+/// prolog/CallGraph.h's Condensation).
+///
+/// Each worker task solves one component's predicates with a fresh
+/// per-thread sequential engine over thread-local state: its own
+/// symbol-table copy, its own op cache layered over the read-only
+/// frozen shared tier (when one exists), its own scratch — workers
+/// share nothing mutable with each other or with the parent. Finished
+/// tasks publish two kinds of results through a mutex-guarded queue
+/// whose ownership transfers wholly to the parent (single-consumer
+/// hand-off, so the parent may run lazy graph-cache fills on them
+/// without synchronization):
+///
+///   - an exact op-cache *delta* (typegraph/CacheDelta.h), absorbed
+///     into the parent's cache at the engine's checkpoints: by the
+///     cache-exactness invariant this turns misses into hits and cannot
+///     change any result;
+///   - a *pack*: the complete memo table of the task's from-empty solve
+///     of (Pred, top), in creation order. The parent adopts a pack only
+///     under the replay-equivalence guard (exact input match, every
+///     touched predicate still entry-free in the parent, converged,
+///     symbol table unchanged), which makes installation byte-identical
+///     to the compute it replaces.
+///
+/// Demands the speculation does not cover — above all calls that escape
+/// the static cone (simulated in tests by truncating the cone depth) —
+/// are simply solved inline by the demanding engine; soundness never
+/// depends on the static approximation being exhaustive. They are
+/// counted in EngineStats::SccFallbackSolves.
+///
+/// The scheduler is TypeLeaf-concrete: the parallel mode requires the
+/// type-graph domain with the op cache enabled (the delta/pack channels
+/// are built on it); other configurations run sequentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GAIA_SCCSCHEDULER_H
+#define GAIA_SCCSCHEDULER_H
+
+#include "domains/TypeLeaf.h"
+#include "gaia/Engine.h"
+#include "prolog/CallGraph.h"
+#include "support/Cancellation.h"
+#include "typegraph/CacheDelta.h"
+#include "typegraph/OpCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gaia {
+
+class SharedCache; // runtime/SharedCache.h (keep-alive anchor only)
+
+/// Parallel-solve configuration (core/Analyzer.h wires it from
+/// AnalyzerOptions).
+struct SccSolveOptions {
+  /// Total solver threads including the parent; the scheduler spawns
+  /// SolverThreads - 1 workers. Values <= 1 mean no speculation.
+  uint32_t SolverThreads = 1;
+  /// Test hook: speculate only predicates within this many call-graph
+  /// edges of the entry, so demands beyond it exercise the escape
+  /// hatch. ~0u = the whole static cone (production behavior).
+  uint32_t MaxConeDepth = ~0u;
+};
+
+/// Scheduler-side counters, folded into EngineStats by the analyzer.
+struct SccSolveStats {
+  uint32_t SccCount = 0;       ///< components in the speculated cone
+  uint32_t SccParallelism = 0; ///< peak concurrently busy workers
+  uint64_t SccFallbackSolves = 0; ///< parent entries outside the cone
+  uint64_t PacksPublished = 0;
+  uint64_t PacksAdopted = 0;
+  uint64_t EntriesAdopted = 0;
+  uint64_t DeltasAbsorbed = 0;
+};
+
+/// One run's speculation: spawns the workers in the constructor, feeds
+/// the parent engine through the EngineHints seams, and stops/joins the
+/// workers in finish() (or the destructor — also on a cancellation
+/// unwind, so a cancelled parallel solve leaves no thread or shared
+/// state behind).
+class SccSpeculation final : public EngineHints<TypeLeaf> {
+public:
+  /// Everything a worker needs to rebuild a self-contained analysis
+  /// context. Assembled by the analyzer on the parent thread *before*
+  /// any worker starts; workers only copy from it.
+  struct Env {
+    NormalizeOptions Norm;   ///< Cancel cleared; workers arm their own
+    WideningOptions Widen;   ///< Database/Cancel cleared; see below
+    std::vector<TypeGraph> Database; ///< type database, copied per task
+    TypeLeaf::Constants ConstProto;  ///< pre-primed constants prototype
+    std::shared_ptr<const FrozenOpTier> SharedOps; ///< frozen tier
+    std::shared_ptr<const SharedCache> SharedAnchor; ///< keep-alive
+  };
+
+  /// \p ParentOps/\p ParentCtx/\p ParentSyms belong to the parent
+  /// engine's run and are touched only from the parent thread (inside
+  /// the EngineHints callbacks). \p Snapshot must already contain the
+  /// parsed program; it is *copied* here, on the parent thread, before
+  /// any worker exists — the parent interns into its table mid-solve,
+  /// so workers may never read it directly.
+  SccSpeculation(const NProgram &NProg, const CallGraph &CG,
+                 const SymbolTable &Snapshot, FunctorId Entry,
+                 const EngineOptions &EngOpts,
+                 const TypeLeaf::Context &ParentCtx, OpCache &ParentOps,
+                 SymbolTable &ParentSyms, Env WorkerEnv,
+                 const SccSolveOptions &Opts);
+  ~SccSpeculation() override;
+
+  SccSpeculation(const SccSpeculation &) = delete;
+  SccSpeculation &operator=(const SccSpeculation &) = delete;
+
+  /// Stops and joins the workers, then returns the final counters.
+  /// Idempotent; called by the analyzer right after the parent solve.
+  SccSolveStats finish();
+
+  /// Number of predicates in the (possibly depth-truncated) cone —
+  /// also the basis of EngineOptions::ExpectedEntries.
+  size_t coneSize() const { return Cone.size(); }
+
+  // EngineHints seams (parent thread only).
+  void atCheckpoint() override;
+  bool tryAdopt(FunctorId Pred, const PatSub<TypeLeaf> &In,
+                const std::function<bool(FunctorId)> &Fresh,
+                std::vector<PackEntry> &Out) override;
+  void noteInlineEntry(FunctorId Pred) override;
+
+private:
+  /// One speculative result set: the memo table of a from-empty solve
+  /// of (Root, top) plus the task's harvested op-cache delta.
+  struct Pack {
+    FunctorId Root = InvalidFunctor;
+    bool Converged = false;
+    bool SymsStable = false; ///< worker table did not grow past snapshot
+    std::vector<FunctorId> Touched;
+    std::vector<PackEntry> Entries; ///< creation order, root first
+  };
+  struct Published {
+    uint64_t Seq = 0; ///< (task, member) rank for deterministic drains
+    std::shared_ptr<Pack> P;
+    std::shared_ptr<const CacheDelta> Delta;
+  };
+  /// One ready-count task: solve every member predicate of one SCC.
+  struct Task {
+    uint32_t Scc = 0;      ///< condensation index (reverse topo)
+    uint64_t SeqBase = 0;  ///< publication rank of the first member
+    std::vector<std::pair<FunctorId, uint32_t>> Members; ///< (pred, arity)
+  };
+
+  void workerLoop();
+  void runTask(const Task &T, const CancelSignal &Stop);
+  void drainPublished();
+  void stopWorkers();
+
+  // Immutable after construction (shared read-only with workers).
+  const NProgram &NProg;
+  SymbolTable Snapshot; ///< private pre-solve copy; see constructor doc
+  EngineOptions WorkerEngOpts;
+  Env WEnv;
+  uint32_t SnapSymbols = 0;
+  uint32_t SnapFunctors = 0;
+  std::vector<FunctorId> Cone;
+  std::unordered_set<FunctorId> ConeSet;
+  std::vector<Task> Tasks;
+  std::vector<std::vector<uint32_t>> TaskCallers; ///< cone-local reverse edges
+
+  // Parent-thread-only state (EngineHints side).
+  const TypeLeaf::Context &ParentCtx;
+  OpCache &ParentOps;
+  SymbolTable &ParentSyms;
+  std::unordered_map<FunctorId, std::shared_ptr<Pack>> PackStore;
+  SccSolveStats Stats;
+  bool Finished = false;
+
+  // Scheduling state, guarded by Mu.
+  std::mutex Mu;
+  std::condition_variable ReadyCV;
+  std::vector<uint32_t> Pending; ///< unfinished cone-callee tasks
+  std::vector<uint32_t> Ready;   ///< dispatchable task indices
+  bool Stopping = false;
+
+  // Publication queue, guarded by PubMu; ownership of the queued packs
+  // and deltas transfers to the parent at drain.
+  std::mutex PubMu;
+  std::vector<Published> PubQueue;
+  std::atomic<bool> HasPub{false};
+
+  std::shared_ptr<CancelToken> StopTok;
+  std::atomic<uint32_t> Busy{0};
+  std::atomic<uint32_t> PeakBusy{0};
+  std::atomic<uint64_t> PacksPublishedCount{0};
+  std::vector<std::thread> Threads;
+};
+
+} // namespace gaia
+
+#endif // GAIA_SCCSCHEDULER_H

@@ -1,0 +1,172 @@
+//===- prolog/CallGraph.cpp -------------------------------------------------=//
+
+#include "prolog/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace gaia;
+
+const std::vector<FunctorId> CallGraph::Empty;
+
+void gaia::forEachUserCall(const Term &Goal, const Program &Prog,
+                           SymbolTable &Syms,
+                           const std::function<void(FunctorId)> &OnCall) {
+  if (!Goal.isCallable())
+    return;
+  const std::string &Name = Syms.name(Goal.name());
+  if (Goal.arity() == 2 && (Name == "," || Name == ";" || Name == "->")) {
+    forEachUserCall(Goal.args()[0], Prog, Syms, OnCall);
+    forEachUserCall(Goal.args()[1], Prog, Syms, OnCall);
+    return;
+  }
+  if (Goal.arity() == 1 &&
+      (Name == "\\+" || Name == "not" || Name == "call")) {
+    forEachUserCall(Goal.args()[0], Prog, Syms, OnCall);
+    return;
+  }
+  FunctorId Fn = Goal.functor(Syms);
+  if (Prog.defines(Fn))
+    OnCall(Fn);
+}
+
+CallGraph::CallGraph(const Program &Prog, SymbolTable &Syms) {
+  for (const Procedure &P : Prog.procedures()) {
+    Preds.push_back(P.Fn);
+    std::vector<FunctorId> &Out = Callees[P.Fn];
+    std::set<FunctorId> Seen;
+    for (const Clause &C : P.Clauses)
+      for (const Term &Goal : C.Body)
+        forEachUserCall(Goal, Prog, Syms, [&](FunctorId Fn) {
+          if (Seen.insert(Fn).second)
+            Out.push_back(Fn);
+        });
+  }
+}
+
+const std::vector<FunctorId> &CallGraph::callees(FunctorId Fn) const {
+  auto It = Callees.find(Fn);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+std::vector<std::vector<FunctorId>>
+CallGraph::stronglyConnectedComponents() const {
+  // Tarjan's algorithm (iterative bookkeeping kept simple; programs are
+  // small).
+  std::vector<std::vector<FunctorId>> SCCs;
+  std::unordered_map<FunctorId, uint32_t> IndexOf, LowLink;
+  std::vector<FunctorId> Stack;
+  std::set<FunctorId> OnStack;
+  uint32_t NextIndex = 0;
+
+  std::function<void(FunctorId)> StrongConnect = [&](FunctorId V) {
+    IndexOf[V] = NextIndex;
+    LowLink[V] = NextIndex;
+    ++NextIndex;
+    Stack.push_back(V);
+    OnStack.insert(V);
+    for (FunctorId W : callees(V)) {
+      if (!IndexOf.count(W)) {
+        StrongConnect(W);
+        LowLink[V] = std::min(LowLink[V], LowLink[W]);
+      } else if (OnStack.count(W)) {
+        LowLink[V] = std::min(LowLink[V], IndexOf[W]);
+      }
+    }
+    if (LowLink[V] == IndexOf[V]) {
+      std::vector<FunctorId> SCC;
+      while (true) {
+        FunctorId W = Stack.back();
+        Stack.pop_back();
+        OnStack.erase(W);
+        SCC.push_back(W);
+        if (W == V)
+          break;
+      }
+      SCCs.push_back(std::move(SCC));
+    }
+  };
+
+  for (FunctorId P : Preds)
+    if (!IndexOf.count(P))
+      StrongConnect(P);
+  return SCCs;
+}
+
+Condensation CallGraph::condense() const {
+  Condensation C;
+  C.Sccs = stronglyConnectedComponents();
+  for (uint32_t I = 0; I != C.Sccs.size(); ++I)
+    for (FunctorId P : C.Sccs[I])
+      C.SccOf.emplace(P, I);
+  C.CalleeSccs.resize(C.Sccs.size());
+  C.CallerSccs.resize(C.Sccs.size());
+  for (uint32_t I = 0; I != C.Sccs.size(); ++I) {
+    std::set<uint32_t> Seen;
+    for (FunctorId P : C.Sccs[I])
+      for (FunctorId Q : callees(P)) {
+        uint32_t J = C.SccOf.at(Q);
+        if (J != I && Seen.insert(J).second) {
+          // Tarjan emits callees first, so cross edges always point at
+          // earlier components — the property the reverse-topological
+          // ready-count dispatch rests on.
+          assert(J < I && "condensation edge against reverse-topo order");
+          C.CalleeSccs[I].push_back(J);
+          C.CallerSccs[J].push_back(I);
+        }
+      }
+    std::sort(C.CalleeSccs[I].begin(), C.CalleeSccs[I].end());
+  }
+  return C;
+}
+
+std::vector<uint32_t> Condensation::initialReadyCounts() const {
+  std::vector<uint32_t> Counts(Sccs.size());
+  for (uint32_t I = 0; I != Sccs.size(); ++I)
+    Counts[I] = static_cast<uint32_t>(CalleeSccs[I].size());
+  return Counts;
+}
+
+std::vector<uint32_t> Condensation::readyOrder() const {
+  std::vector<uint32_t> Counts = initialReadyCounts();
+  std::vector<bool> Done(Sccs.size(), false);
+  std::vector<uint32_t> Order;
+  Order.reserve(Sccs.size());
+  for (size_t Step = 0; Step != Sccs.size(); ++Step) {
+    uint32_t Pick = ~0u;
+    for (uint32_t I = 0; I != Sccs.size(); ++I)
+      if (!Done[I] && Counts[I] == 0) {
+        Pick = I;
+        break;
+      }
+    assert(Pick != ~0u && "ready-count dispatch stalled on a DAG");
+    Done[Pick] = true;
+    Order.push_back(Pick);
+    for (uint32_t Caller : CallerSccs[Pick]) {
+      assert(Counts[Caller] != 0 && "ready-count underflow");
+      --Counts[Caller];
+    }
+  }
+  return Order;
+}
+
+std::vector<FunctorId> CallGraph::reachableFrom(FunctorId Entry,
+                                                uint32_t MaxDepth) const {
+  std::vector<FunctorId> Out;
+  if (Callees.find(Entry) == Callees.end())
+    return Out;
+  std::set<FunctorId> Seen{Entry};
+  // BFS so the depth cut is by call distance from the entry.
+  std::vector<std::pair<FunctorId, uint32_t>> Work{{Entry, 0}};
+  for (size_t I = 0; I != Work.size(); ++I) {
+    auto [P, D] = Work[I];
+    Out.push_back(P);
+    if (D >= MaxDepth)
+      continue;
+    for (FunctorId Q : callees(P))
+      if (Seen.insert(Q).second)
+        Work.push_back({Q, D + 1});
+  }
+  return Out;
+}

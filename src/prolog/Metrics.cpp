@@ -10,103 +10,17 @@
 
 using namespace gaia;
 
-const std::vector<FunctorId> CallGraph::Empty;
-
-namespace {
-
-/// Walks a goal term, invoking \p OnCall for every leaf goal that calls a
-/// user-defined predicate. Looks through ',', ';', '->', '\+', 'not' and
-/// 'call', matching how the paper counts goals in control constructs.
-static void forEachCall(const Term &Goal, const Program &Prog,
-                        SymbolTable &Syms,
-                        const std::function<void(FunctorId)> &OnCall) {
-  if (!Goal.isCallable())
-    return;
-  const std::string &Name = Syms.name(Goal.name());
-  if (Goal.arity() == 2 &&
-      (Name == "," || Name == ";" || Name == "->")) {
-    forEachCall(Goal.args()[0], Prog, Syms, OnCall);
-    forEachCall(Goal.args()[1], Prog, Syms, OnCall);
-    return;
-  }
-  if (Goal.arity() == 1 &&
-      (Name == "\\+" || Name == "not" || Name == "call")) {
-    forEachCall(Goal.args()[0], Prog, Syms, OnCall);
-    return;
-  }
-  FunctorId Fn = Goal.functor(Syms);
-  if (Prog.defines(Fn))
-    OnCall(Fn);
-}
-
-} // namespace
-
-CallGraph::CallGraph(const Program &Prog, SymbolTable &Syms) {
-  for (const Procedure &P : Prog.procedures()) {
-    Preds.push_back(P.Fn);
-    std::vector<FunctorId> &Out = Callees[P.Fn];
-    std::set<FunctorId> Seen;
-    for (const Clause &C : P.Clauses)
-      for (const Term &Goal : C.Body)
-        forEachCall(Goal, Prog, Syms, [&](FunctorId Fn) {
-          if (Seen.insert(Fn).second)
-            Out.push_back(Fn);
-        });
-  }
-}
-
-const std::vector<FunctorId> &CallGraph::callees(FunctorId Fn) const {
-  auto It = Callees.find(Fn);
-  return It == Callees.end() ? Empty : It->second;
-}
-
-std::vector<std::vector<FunctorId>>
-CallGraph::stronglyConnectedComponents() const {
-  // Tarjan's algorithm (iterative bookkeeping kept simple; programs are
-  // small).
-  std::vector<std::vector<FunctorId>> SCCs;
-  std::unordered_map<FunctorId, uint32_t> IndexOf, LowLink;
-  std::vector<FunctorId> Stack;
-  std::set<FunctorId> OnStack;
-  uint32_t NextIndex = 0;
-
-  std::function<void(FunctorId)> StrongConnect = [&](FunctorId V) {
-    IndexOf[V] = NextIndex;
-    LowLink[V] = NextIndex;
-    ++NextIndex;
-    Stack.push_back(V);
-    OnStack.insert(V);
-    for (FunctorId W : callees(V)) {
-      if (!IndexOf.count(W)) {
-        StrongConnect(W);
-        LowLink[V] = std::min(LowLink[V], LowLink[W]);
-      } else if (OnStack.count(W)) {
-        LowLink[V] = std::min(LowLink[V], IndexOf[W]);
-      }
-    }
-    if (LowLink[V] == IndexOf[V]) {
-      std::vector<FunctorId> SCC;
-      while (true) {
-        FunctorId W = Stack.back();
-        Stack.pop_back();
-        OnStack.erase(W);
-        SCC.push_back(W);
-        if (W == V)
-          break;
-      }
-      SCCs.push_back(std::move(SCC));
-    }
-  };
-
-  for (FunctorId P : Preds)
-    if (!IndexOf.count(P))
-      StrongConnect(P);
-  return SCCs;
+SizeMetrics gaia::computeSizeMetrics(const Program &Prog,
+                                     const NProgram &NProg,
+                                     SymbolTable &Syms, FunctorId Entry) {
+  CallGraph CG(Prog, Syms);
+  return computeSizeMetrics(Prog, NProg, Syms, Entry, CG);
 }
 
 SizeMetrics gaia::computeSizeMetrics(const Program &Prog,
                                      const NProgram &NProg,
-                                     SymbolTable &Syms, FunctorId Entry) {
+                                     SymbolTable &Syms, FunctorId Entry,
+                                     const CallGraph &CG) {
   SizeMetrics M;
   M.NumProcedures = static_cast<uint32_t>(Prog.procedures().size());
   M.NumClauses = Prog.numClauses();
@@ -115,11 +29,10 @@ SizeMetrics gaia::computeSizeMetrics(const Program &Prog,
   for (const Procedure &P : Prog.procedures())
     for (const Clause &C : P.Clauses)
       for (const Term &Goal : C.Body)
-        forEachCall(Goal, Prog, Syms, [&](FunctorId) { ++M.NumGoals; });
+        forEachUserCall(Goal, Prog, Syms, [&](FunctorId) { ++M.NumGoals; });
 
   // Static call tree: unfold the call graph from the entry, cutting
   // calls back to predicates on the current path ([15]).
-  CallGraph CG(Prog, Syms);
   constexpr uint64_t Budget = 1000000;
   std::set<FunctorId> Path;
   std::function<uint64_t(FunctorId)> TreeSize =
@@ -171,7 +84,7 @@ RecursionMetrics gaia::classifyRecursion(const Program &Prog,
     for (const Clause &C : P.Clauses) {
       uint32_t RecCalls = 0;
       for (const Term &Goal : C.Body)
-        forEachCall(Goal, Prog, Syms, [&](FunctorId Fn) {
+        forEachUserCall(Goal, Prog, Syms, [&](FunctorId Fn) {
           if (Fn == P.Fn)
             ++RecCalls;
         });

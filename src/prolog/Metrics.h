@@ -17,6 +17,7 @@
 #ifndef GAIA_PROLOG_METRICS_H
 #define GAIA_PROLOG_METRICS_H
 
+#include "prolog/CallGraph.h"
 #include "prolog/Normalize.h"
 #include "prolog/Program.h"
 
@@ -39,29 +40,20 @@ struct RecursionMetrics {
   uint32_t NonRecursive = 0;
 };
 
-/// The static call graph: for each procedure, the set of user-defined
-/// predicates its bodies call (including calls under \+, ; and ->).
-class CallGraph {
-public:
-  CallGraph(const Program &Prog, SymbolTable &Syms);
-
-  const std::vector<FunctorId> &callees(FunctorId Fn) const;
-  const std::vector<FunctorId> &predicates() const { return Preds; }
-
-  /// Strongly connected components in reverse topological order
-  /// (Tarjan). Each component lists its member predicates.
-  std::vector<std::vector<FunctorId>> stronglyConnectedComponents() const;
-
-private:
-  std::vector<FunctorId> Preds;
-  std::unordered_map<FunctorId, std::vector<FunctorId>> Callees;
-  static const std::vector<FunctorId> Empty;
-};
+// CallGraph (with SCCs and the scheduler-facing condensation) lives in
+// prolog/CallGraph.h; Metrics is one of its two clients.
 
 /// Computes the Table 1 metrics. \p Entry is the benchmark's top-level
 /// predicate (the root of the static call tree).
 SizeMetrics computeSizeMetrics(const Program &Prog, const NProgram &NProg,
                                SymbolTable &Syms, FunctorId Entry);
+
+/// Overload for callers that already built the call graph (the analyzer
+/// builds one anyway for the engine's call-cone reserve and the
+/// parallel scheduler); identical results, one construction.
+SizeMetrics computeSizeMetrics(const Program &Prog, const NProgram &NProg,
+                               SymbolTable &Syms, FunctorId Entry,
+                               const CallGraph &CG);
 
 /// Computes the Table 2 classification.
 RecursionMetrics classifyRecursion(const Program &Prog, SymbolTable &Syms);

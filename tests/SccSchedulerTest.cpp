@@ -1,0 +1,298 @@
+//===- tests/SccSchedulerTest.cpp - SCC-scheduled parallel solving --------==//
+///
+/// \file
+/// The parallel mode's contract, in four layers:
+///
+///   1. CallGraph/Condensation structure: pinned SCCs on a known
+///      program, consistency with the Table 2 recursion classifier,
+///      and the DAG-scheduling properties the worker dispatch relies
+///      on (callees-first ready order, no underflow, no stall).
+///   2. Differential identity: on every Section 9 program, any
+///      SolverThreads setting must reproduce the sequential oracle's
+///      semantic fingerprint (grammars, tags, pattern/tuple counts)
+///      bit for bit — only the proc=/clause= work counters may differ.
+///   3. The escape hatch: a truncated speculation cone forces demands
+///      outside it onto the sequential fallback path, which must be
+///      counted and must not change any result.
+///   4. Lifecycle: cancellation mid-parallel-solve unwinds to the
+///      structured result and leaves no trace behind, and an 8-thread
+///      stress pass gives TSan a workload (the soak CI job runs this
+///      suite under -fsanitize=thread).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Report.h"
+#include "programs/Benchmarks.h"
+#include "prolog/CallGraph.h"
+#include "prolog/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace gaia;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CallGraph / Condensation structure.
+//===----------------------------------------------------------------------===//
+
+class CallGraphTest : public ::testing::Test {
+protected:
+  void load(const char *Src) {
+    std::string Err;
+    std::optional<Program> P = Program::parse(Src, Syms, &Err);
+    ASSERT_TRUE(P.has_value()) << Err;
+    Prog = *P;
+  }
+
+  FunctorId fn(const char *Name, uint32_t Arity) {
+    return Syms.functor(Name, Arity);
+  }
+
+  SymbolTable Syms;
+  Program Prog;
+};
+
+constexpr const char *MutualSrc = R"(
+a(X) :- b(X).
+b(X) :- c(X), d(X).
+c(X) :- b(X).
+c(0).
+d(1).
+e(X) :- e(X).
+)";
+
+TEST_F(CallGraphTest, PinnedSccs) {
+  load(MutualSrc);
+  CallGraph CG(Prog, Syms);
+  auto Sccs = CG.stronglyConnectedComponents();
+  // Tarjan emits callees first: {b,c} before a; d before the {b,c}
+  // caller-side pop order is not pinned here, only the component sets.
+  std::set<std::set<FunctorId>> Got;
+  for (const auto &S : Sccs)
+    Got.insert(std::set<FunctorId>(S.begin(), S.end()));
+  std::set<std::set<FunctorId>> Want = {
+      {fn("a", 1)}, {fn("b", 1), fn("c", 1)}, {fn("d", 1)}, {fn("e", 1)}};
+  EXPECT_EQ(Got, Want);
+}
+
+TEST_F(CallGraphTest, SccsConsistentWithRecursionClassifier) {
+  // The Table 2 classifier and the scheduler's condensation are now two
+  // consumers of one hoisted CallGraph; their views must agree: a
+  // predicate is in a size->1 SCC iff the classifier calls it mutually
+  // recursive.
+  for (const BenchmarkProgram &B : table123Suite()) {
+    SymbolTable S;
+    std::string Err;
+    std::optional<Program> P = Program::parse(B.Source, S, &Err);
+    ASSERT_TRUE(P.has_value()) << B.Key << ": " << Err;
+    CallGraph CG(*P, S);
+    uint32_t InBigScc = 0;
+    for (const auto &Scc : CG.stronglyConnectedComponents())
+      if (Scc.size() > 1)
+        InBigScc += static_cast<uint32_t>(Scc.size());
+    RecursionMetrics M = classifyRecursion(*P, S);
+    EXPECT_EQ(InBigScc, M.MutuallyRecursive) << B.Key;
+  }
+}
+
+TEST_F(CallGraphTest, CondensationIsReverseTopological) {
+  for (const BenchmarkProgram &B : table123Suite()) {
+    SymbolTable S;
+    std::string Err;
+    std::optional<Program> P = Program::parse(B.Source, S, &Err);
+    ASSERT_TRUE(P.has_value()) << B.Key << ": " << Err;
+    Condensation C = CallGraph(*P, S).condense();
+    // Every cross-component edge points at an earlier component, and
+    // SccOf covers exactly the component members.
+    size_t Members = 0;
+    for (uint32_t I = 0; I != C.Sccs.size(); ++I) {
+      Members += C.Sccs[I].size();
+      for (uint32_t J : C.CalleeSccs[I])
+        EXPECT_LT(J, I) << B.Key;
+      for (FunctorId Pred : C.Sccs[I])
+        EXPECT_EQ(C.SccOf.at(Pred), I) << B.Key;
+    }
+    EXPECT_EQ(Members, C.SccOf.size()) << B.Key;
+  }
+}
+
+TEST_F(CallGraphTest, ReadyOrderDispatchesCalleesFirstWithoutUnderflow) {
+  for (const BenchmarkProgram &B : table123Suite()) {
+    SymbolTable S;
+    std::string Err;
+    std::optional<Program> P = Program::parse(B.Source, S, &Err);
+    ASSERT_TRUE(P.has_value()) << B.Key << ": " << Err;
+    Condensation C = CallGraph(*P, S).condense();
+    std::vector<uint32_t> Order = C.readyOrder();
+    ASSERT_EQ(Order.size(), C.Sccs.size()) << B.Key;
+
+    // Valid permutation.
+    std::vector<uint32_t> Sorted = Order;
+    std::sort(Sorted.begin(), Sorted.end());
+    for (uint32_t I = 0; I != Sorted.size(); ++I)
+      ASSERT_EQ(Sorted[I], I) << B.Key;
+
+    // Re-run the ready-count simulation by hand: a component may only
+    // be dispatched once its count is zero, counts never wrap, and
+    // every callee completes before every caller.
+    std::vector<uint32_t> Counts = C.initialReadyCounts();
+    std::vector<bool> Done(C.Sccs.size(), false);
+    for (uint32_t Pick : Order) {
+      ASSERT_EQ(Counts[Pick], 0u)
+          << B.Key << ": component dispatched before its callees";
+      for (uint32_t Callee : C.CalleeSccs[Pick])
+        ASSERT_TRUE(Done[Callee]) << B.Key;
+      Done[Pick] = true;
+      for (uint32_t Caller : C.CallerSccs[Pick]) {
+        ASSERT_GT(Counts[Caller], 0u) << B.Key << ": ready-count underflow";
+        --Counts[Caller];
+      }
+    }
+    for (uint32_t Cnt : Counts)
+      EXPECT_EQ(Cnt, 0u) << B.Key;
+  }
+}
+
+TEST_F(CallGraphTest, ReachableFromRespectsDepth) {
+  load(MutualSrc);
+  CallGraph CG(Prog, Syms);
+  // a -> b -> {c, d}; c -> b (back edge). Depth 0 = entry only.
+  EXPECT_EQ(CG.reachableFrom(fn("a", 1), 0).size(), 1u);
+  EXPECT_EQ(CG.reachableFrom(fn("a", 1), 1).size(), 2u);
+  EXPECT_EQ(CG.reachableFrom(fn("a", 1), 2).size(), 4u);
+  EXPECT_EQ(CG.reachableFrom(fn("a", 1)).size(), 4u); // e unreachable
+  EXPECT_TRUE(CG.reachableFrom(fn("nosuch", 1)).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential identity against the sequential oracle.
+//===----------------------------------------------------------------------===//
+
+AnalyzerOptions parallelOpts(uint32_t Threads) {
+  AnalyzerOptions O;
+  O.SolverThreads = Threads;
+  return O;
+}
+
+TEST(SccSchedulerDifferential, SemanticFingerprintIdentityOnSection9) {
+  for (const BenchmarkProgram &B : table123Suite()) {
+    AnalysisResult Oracle = analyzeProgram(B.Source, B.GoalSpec, {});
+    ASSERT_TRUE(Oracle.Ok) << B.Key << ": " << Oracle.Error;
+    std::string Want = analysisSemanticFingerprint(Oracle);
+    for (uint32_t Threads : {2u, 4u}) {
+      AnalysisResult R =
+          analyzeProgram(B.Source, B.GoalSpec, parallelOpts(Threads));
+      ASSERT_TRUE(R.Ok) << B.Key << ": " << R.Error;
+      EXPECT_EQ(analysisSemanticFingerprint(R), Want)
+          << B.Key << " at SolverThreads=" << Threads;
+      EXPECT_EQ(R.Converged, Oracle.Converged) << B.Key;
+      EXPECT_GT(R.Stats.SccCount, 0u) << B.Key;
+    }
+  }
+}
+
+TEST(SccSchedulerDifferential, ParallelismNeverExceedsWorkerCount) {
+  for (const BenchmarkProgram &B : table123Suite()) {
+    AnalysisResult R = analyzeProgram(B.Source, B.GoalSpec, parallelOpts(4));
+    ASSERT_TRUE(R.Ok) << B.Key;
+    EXPECT_LE(R.Stats.SccParallelism, 3u) << B.Key;
+  }
+}
+
+TEST(SccSchedulerDifferential, ReserveFromCallConeIsResultInvisible) {
+  // The memo-table reserve is pure capacity: with it off, even the full
+  // fingerprint (work counters included) must match.
+  for (const BenchmarkProgram &B : table123Suite()) {
+    AnalyzerOptions NoReserve;
+    NoReserve.ReserveFromCallCone = false;
+    AnalysisResult A = analyzeProgram(B.Source, B.GoalSpec, {});
+    AnalysisResult C = analyzeProgram(B.Source, B.GoalSpec, NoReserve);
+    ASSERT_TRUE(A.Ok && C.Ok) << B.Key;
+    EXPECT_EQ(analysisFingerprint(A), analysisFingerprint(C)) << B.Key;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Escape hatch: demands outside the speculation cone.
+//===----------------------------------------------------------------------===//
+
+TEST(SccSchedulerEscape, TruncatedConeFallsBackSequentially) {
+  // Depth 0 truncates the cone to the entry predicate alone, so every
+  // callee demand escapes the speculation and is solved inline — the
+  // exact path an escaping call through assert/retract-style dynamic
+  // goals would take. Results must be unchanged and the fallbacks
+  // visible in the stats.
+  const BenchmarkProgram *B = findBenchmark("KA");
+  ASSERT_NE(B, nullptr);
+  AnalysisResult Oracle = analyzeProgram(B->Source, B->GoalSpec, {});
+  ASSERT_TRUE(Oracle.Ok);
+
+  AnalyzerOptions O = parallelOpts(4);
+  O.SolverConeDepth = 0;
+  AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec, O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(analysisSemanticFingerprint(R),
+            analysisSemanticFingerprint(Oracle));
+  EXPECT_GT(R.Stats.SccFallbackSolves, 0u);
+
+  // A shallow but nonzero cone: fallbacks still counted for the deep
+  // predicates, identity still holds.
+  O.SolverConeDepth = 1;
+  AnalysisResult R1 = analyzeProgram(B->Source, B->GoalSpec, O);
+  ASSERT_TRUE(R1.Ok);
+  EXPECT_EQ(analysisSemanticFingerprint(R1),
+            analysisSemanticFingerprint(Oracle));
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle: cancellation and thread-stress.
+//===----------------------------------------------------------------------===//
+
+TEST(SccSchedulerLifecycle, CancellationLeavesNoTrace) {
+  const BenchmarkProgram *B = findBenchmark("KA");
+  ASSERT_NE(B, nullptr);
+
+  auto Tok = std::make_shared<CancelToken>();
+  Tok->cancel(); // pre-cancelled: trips at the first checkpoint
+  AnalyzerOptions O = parallelOpts(4);
+  O.Cancel = Tok;
+  AnalysisResult R = analyzeProgram(B->Source, B->GoalSpec, O);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Fail, FailKind::Cancelled);
+  EXPECT_TRUE(R.Summaries.empty());
+  EXPECT_EQ(R.Delta, nullptr);
+
+  // The cancelled run's scheduler joined its workers on the unwind;
+  // nothing it did may leak into a fresh run.
+  AnalysisResult Oracle = analyzeProgram(B->Source, B->GoalSpec, {});
+  AnalysisResult Fresh = analyzeProgram(B->Source, B->GoalSpec, {});
+  ASSERT_TRUE(Oracle.Ok && Fresh.Ok);
+  EXPECT_EQ(analysisFingerprint(Fresh), analysisFingerprint(Oracle));
+}
+
+TEST(SccSchedulerLifecycle, EightThreadStressKeepsIdentity) {
+  // The TSan soak job runs this suite under -fsanitize=thread; this
+  // test is its workload — enough concurrent solves of the largest
+  // programs to exercise the publication queue and the stop path.
+  for (const char *Key : {"KA", "PL", "CS"}) {
+    const BenchmarkProgram *B = findBenchmark(Key);
+    ASSERT_NE(B, nullptr);
+    AnalysisResult Oracle = analyzeProgram(B->Source, B->GoalSpec, {});
+    ASSERT_TRUE(Oracle.Ok) << Key;
+    std::string Want = analysisSemanticFingerprint(Oracle);
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      AnalysisResult R =
+          analyzeProgram(B->Source, B->GoalSpec, parallelOpts(8));
+      ASSERT_TRUE(R.Ok) << Key;
+      EXPECT_EQ(analysisSemanticFingerprint(R), Want)
+          << Key << " rep " << Rep;
+    }
+  }
+}
+
+} // namespace

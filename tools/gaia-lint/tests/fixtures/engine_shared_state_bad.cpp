@@ -1,0 +1,75 @@
+// engine-shared-state fixture. Seeded violations (all must be flagged):
+//   GTaskTally  -- mutable namespace-scope static shared by every worker
+//   Calls       -- mutable function-local static (same race, hidden deeper)
+//   Published   -- non-synchronized data member touched from a
+//                  thread-entry lambda without a lock
+// Adjacent allowed shapes (must NOT be flagged): const/constexpr/atomic
+// statics, an atomic member bumped from a lambda, a member touched only
+// under a lock_guard, and the sanctioned delegate-to-member-function
+// entry shape `[this] { workerLoop(); }`.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gaia {
+
+static uint64_t GTaskTally = 0; // BAD: every worker bumps this, no lock
+
+static const char *GEngineName = "scc-scheduler";  // ok: const
+static constexpr uint32_t GMaxWorkers = 16;        // ok: constexpr
+static std::atomic<uint64_t> GSpawnSeq{0};         // ok: atomic
+
+static void bumpTally() {
+  static int Calls = 0; // BAD: function-local static, still shared
+  ++Calls;
+  ++GTaskTally;
+}
+
+class MiniScheduler {
+public:
+  void spawnBad() {
+    // BAD: Published is plain uint64_t; the worker writes it while the
+    // parent reads it -- exactly the race the published queue exists
+    // to prevent.
+    Threads.emplace_back([this] { ++Published; });
+  }
+
+  void spawnLocked() {
+    // ok: the touch of Guarded happens under the engine mutex.
+    Threads.emplace_back([this] {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Guarded;
+    });
+  }
+
+  void spawnAtomic() {
+    // ok: Busy is atomic; lock-free counters are a sanctioned shape.
+    Threads.emplace_back([this] { Busy.fetch_add(1); });
+  }
+
+  void spawnDelegate() {
+    // ok: the sanctioned entry shape -- delegate straight to a member
+    // function and let it manage its own synchronization.
+    std::thread Worker([this] { workerLoop(); });
+    Worker.join();
+  }
+
+  void drain() {
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+private:
+  void workerLoop() { bumpTally(); }
+
+  uint64_t Published = 0;
+  uint64_t Guarded = 0;
+  std::atomic<uint32_t> Busy{0};
+  std::mutex Mu;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace gaia

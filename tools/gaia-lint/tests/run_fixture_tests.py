@@ -105,6 +105,27 @@ def main():
             extras = found - set(must)
             check(not extras, f"no extra findings (got {sorted(extras)})")
 
+    # engine-shared-state needs its own block: the rule's path option is
+    # a file-stem prefix, so the fixture run must point --engine-path at
+    # the fixtures dir explicitly (the default targets the real tree).
+    print("[engine_shared_state_bad.cpp]")
+    rc, report = run_lint(
+        [os.path.join(FIXTURES, "engine_shared_state_bad.cpp")],
+        extra=["--engine-path", FIXTURES])
+    found = {(f["rule"], f["symbol"]) for f in report["findings"]}
+    check(rc == 1, "exit code 1 (findings present)")
+    engine_must = [("engine-shared-state", "GTaskTally"),
+                   ("engine-shared-state", "Calls"),
+                   ("engine-shared-state", "Published")]
+    for want in engine_must:
+        check(want in found, f"flags {want[0]} on {want[1]}")
+    for sym in ("GEngineName", "GMaxWorkers", "GSpawnSeq", "Guarded",
+                "Busy", "workerLoop", "Threads"):
+        hits = [f for f in found if f[1] == sym]
+        check(not hits, f"does not flag allowed symbol {sym}")
+    extras = found - set(engine_must)
+    check(not extras, f"no extra findings (got {sorted(extras)})")
+
     print("[clean_ok.cpp]")
     rc, report = run_lint(
         [os.path.join(FIXTURES, "clean_ok.cpp")],
